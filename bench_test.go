@@ -1,0 +1,238 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (one Benchmark per artifact, delegating to
+// internal/experiments) and measures the core operations behind Lemma 2's
+// complexity claims (inference, synopsis maintenance, kernel covariance,
+// Cholesky solves, parsing, scan throughput).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks print their report tables under -v via b.Log. Set
+// REPRO_SCALE=full for paper-sized runs (several minutes each).
+package repro
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/query"
+	"repro/internal/randx"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("REPRO_SCALE") == "full" {
+		return experiments.Full
+	}
+	return experiments.Small
+}
+
+// benchExperiment runs one registered experiment per iteration and logs its
+// report on the first.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := runner(experiments.Options{Scale: benchScale(), Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", rep.String())
+		}
+	}
+}
+
+// One benchmark per paper artifact (see DESIGN.md §5 for the index).
+
+func BenchmarkTable3Generality(b *testing.B)             { benchExperiment(b, "table3") }
+func BenchmarkTable4SpeedupErrorReduction(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5Overhead(b *testing.B)               { benchExperiment(b, "table5") }
+func BenchmarkFigure1ModelRefinement(b *testing.B)       { benchExperiment(b, "figure1") }
+func BenchmarkFigure4RuntimeErrorCurves(b *testing.B)    { benchExperiment(b, "figure4") }
+func BenchmarkFigure5ConfidenceIntervals(b *testing.B)   { benchExperiment(b, "figure5") }
+func BenchmarkFigure6aWorkloadDiversity(b *testing.B)    { benchExperiment(b, "figure6a") }
+func BenchmarkFigure6bDataDistributions(b *testing.B)    { benchExperiment(b, "figure6b") }
+func BenchmarkFigure6cLearningBehavior(b *testing.B)     { benchExperiment(b, "figure6c") }
+func BenchmarkFigure6dOverheadGrowth(b *testing.B)       { benchExperiment(b, "figure6d") }
+func BenchmarkFigure7ParameterLearning(b *testing.B)     { benchExperiment(b, "figure7") }
+func BenchmarkFigure9ModelValidation(b *testing.B)       { benchExperiment(b, "figure9") }
+func BenchmarkFigure10VsCaching(b *testing.B)            { benchExperiment(b, "figure10") }
+func BenchmarkFigure11TimeBound(b *testing.B)            { benchExperiment(b, "figure11") }
+func BenchmarkFigure12DataAppend(b *testing.B)           { benchExperiment(b, "figure12") }
+func BenchmarkFigure13IntertupleCovariance(b *testing.B) { benchExperiment(b, "figure13") }
+
+// ---- Core micro-benchmarks ----
+
+// inferenceFixture builds a Verdict with n past snippets over a planted
+// table, returning a fresh snippet + raw estimate to infer.
+func inferenceFixture(b *testing.B, n int) (*core.Verdict, *query.Snippet, query.ScalarEstimate) {
+	b.Helper()
+	tb, _, err := workload.GeneratePlanted1D(workload.Planted1DSpec{
+		Rows: 2000, Ell: 15, Sigma2: 9, NoiseStd: 0.2, Domain: 100, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(9)
+	v := core.New(tb, core.Config{})
+	xcol, _ := tb.Schema().Lookup("x")
+	v.SetParams(query.FuncID{Kind: query.AvgAgg, MeasureKey: "y"},
+		kernel.Params{Sigma2: 9, Ells: map[int]float64{xcol: 15}})
+	mk := func(lo, hi float64) *query.Snippet {
+		g := query.NewRegion(tb.Schema())
+		g.ConstrainNum(xcol, query.NumRange{Lo: lo, Hi: hi})
+		ycol, _ := tb.Schema().Lookup("y")
+		return &query.Snippet{
+			Kind: query.AvgAgg, MeasureKey: "y",
+			Measure: func(t *storage.Table, row int) float64 { return t.NumAt(row, ycol) },
+			Region:  g, Table: tb,
+		}
+	}
+	for i := 0; i < n; i++ {
+		lo := rng.Uniform(0, 90)
+		v.Record(mk(lo, lo+rng.Uniform(2, 8)),
+			query.ScalarEstimate{Value: rng.Normal(0, 3), StdErr: 0.2})
+	}
+	if err := v.Train(); err != nil {
+		b.Fatal(err)
+	}
+	return v, mk(40, 50), query.ScalarEstimate{Value: 0.5, StdErr: 0.4}
+}
+
+// BenchmarkInference measures one improved-answer computation (Eq. 11–12 +
+// validation) against synopsis sizes — the O(n²) claim of Lemma 2.
+func BenchmarkInference(b *testing.B) {
+	for _, n := range []int{10, 100, 500, 1000} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			v, sn, raw := inferenceFixture(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = v.Infer(sn, raw)
+			}
+		})
+	}
+}
+
+// BenchmarkRecordIncremental measures the O(n²) incremental synopsis update.
+func BenchmarkRecordIncremental(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			v, sn, raw := inferenceFixture(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Record(sn, raw) // same key: refresh path
+			}
+		})
+	}
+}
+
+// BenchmarkKernelCovariance measures one snippet-pair covariance (Eq. 10).
+func BenchmarkKernelCovariance(b *testing.B) {
+	tb, _, err := workload.GeneratePlanted1D(workload.Planted1DSpec{
+		Rows: 100, Ell: 15, Sigma2: 9, NoiseStd: 0.2, Domain: 100, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xcol, _ := tb.Schema().Lookup("x")
+	mk := func(lo, hi float64) *query.Snippet {
+		g := query.NewRegion(tb.Schema())
+		g.ConstrainNum(xcol, query.NumRange{Lo: lo, Hi: hi})
+		return &query.Snippet{Kind: query.FreqAgg, Region: g, Table: tb}
+	}
+	s1, s2 := mk(10, 30), mk(20, 50)
+	p := kernel.Params{Sigma2: 2, Ells: map[int]float64{xcol: 15}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernel.Covariance(s1, s2, p)
+	}
+}
+
+// BenchmarkCholesky measures factorization + solve at synopsis scale.
+func BenchmarkCholesky(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			rng := randx.New(4)
+			l := linalg.NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					l.Set(i, j, rng.Normal(0, 1))
+				}
+				l.Set(i, i, 1+rng.Float64())
+			}
+			a, err := l.Mul(l.Transpose())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhs := make([]float64, n)
+			for i := range rhs {
+				rhs[i] = rng.Normal(0, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := linalg.NewCholesky(a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Solve(rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParser measures SQL parsing + the supported-query check.
+func BenchmarkParser(b *testing.B) {
+	sql := `SELECT region, AVG(revenue), SUM(revenue * discount) FROM sales ` +
+		`WHERE week BETWEEN 3 AND 17 AND region IN ('east', 'west') GROUP BY region HAVING SUM(revenue) > 100`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = query.Check(stmt)
+	}
+}
+
+// BenchmarkEngineScan measures the AQP engine's snippet-evaluation scan
+// throughput (rows/op reported as custom metric).
+func BenchmarkEngineScan(b *testing.B) {
+	tb, err := workload.GenerateCustomer1(50000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample, err := aqp.BuildSample(tb, 0.5, 0, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := aqp.NewEngine(tb, sample, aqp.CachedCost)
+	stmt, err := sqlparse.Parse("SELECT AVG(amount) FROM events WHERE event_date BETWEEN 30 AND 90")
+	if err != nil {
+		b.Fatal(err)
+	}
+	decs, err := query.Decompose(stmt, tb, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snips := decs[0].Snippets
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = engine.RunToCompletion(snips)
+	}
+	b.ReportMetric(float64(sample.Data.Rows()), "rows/op")
+}

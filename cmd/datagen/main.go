@@ -1,0 +1,103 @@
+// Command datagen materializes the repository's synthetic datasets and
+// query traces as CSV/SQL files, for inspection or for use outside the Go
+// toolchain.
+//
+// Usage:
+//
+//	datagen -dataset tpch -rows 100000 -out tpch.csv
+//	datagen -dataset customer1 -rows 50000 -out events.csv -trace trace.sql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "customer1", "customer1 | tpch | synthetic | uci")
+		rows    = flag.Int("rows", 50000, "rows to generate")
+		out     = flag.String("out", "", "output CSV path (default stdout)")
+		trace   = flag.String("trace", "", "also write a query trace to this path (customer1 only)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var (
+		table *storage.Table
+		err   error
+	)
+	switch *dataset {
+	case "customer1":
+		table, err = workload.GenerateCustomer1(*rows, *seed)
+	case "tpch":
+		table, err = workload.GenerateTPCH(*rows, *seed)
+	case "synthetic":
+		spec := workload.DefaultSyntheticSpec()
+		spec.Rows = *rows
+		spec.Seed = *seed
+		var syn *workload.Synthetic
+		syn, err = workload.GenerateSynthetic(spec)
+		if syn != nil {
+			table = syn.Table
+		}
+	case "uci":
+		table, err = workload.GenerateUCILike(workload.UCIDatasetNames[0], 0, *seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := table.WriteCSV(bw); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d rows × %d columns to %s\n", table.Rows(), table.Schema().Len(), *out)
+	}
+
+	if *trace != "" && *dataset == "customer1" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw := bufio.NewWriter(f)
+		spec := workload.DefaultCustomer1TraceSpec()
+		spec.Seed = *seed
+		n := 0
+		for _, e := range workload.GenerateCustomer1Trace(spec) {
+			fmt.Fprintf(tw, "-- %s supported=%v\n%s;\n", e.At.Format("2006-01-02T15:04:05"), e.Supported, e.SQL)
+			n++
+		}
+		if err := tw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace queries to %s\n", n, *trace)
+	}
+}

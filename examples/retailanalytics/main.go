@@ -1,0 +1,119 @@
+// retailanalytics runs a TPC-H-like decision-support workload through the
+// full Verdict pipeline: the fourteen supported query templates (of the
+// paper's Table 3 classification) are instantiated repeatedly, the first
+// half training the model and the second half measuring how much database
+// learning tightens the answers — per template.
+//
+//	go run ./examples/retailanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/workload"
+)
+
+func main() {
+	table, err := workload.GenerateTPCH(150000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample, err := aqp.BuildSample(table, 0.2, 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{})
+
+	rng := randx.New(5)
+	var templates []workload.TPCHTemplate
+	for _, tpl := range workload.TPCHTemplates() {
+		if tpl.Supported {
+			templates = append(templates, tpl)
+		}
+	}
+	fmt.Printf("TPC-H-like relation: %d rows; %d supported templates\n\n",
+		table.Rows(), len(templates))
+
+	// Training pass: 4 instantiations of every template.
+	for round := 0; round < 4; round++ {
+		for _, tpl := range templates {
+			if _, err := sys.Execute(workload.InstantiateTPCH(tpl, rng)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := sys.Verdict().Train(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %d snippets in the synopsis (~%.0f KB)\n\n",
+		sys.Verdict().SnippetCount(), float64(sys.Verdict().FootprintBytes())/1024)
+
+	// Measurement pass: fresh instantiations, comparing raw vs improved
+	// actual errors against exact answers.
+	type agg struct {
+		raw, imp float64
+		n        int
+	}
+	perTemplate := map[int]*agg{}
+	for round := 0; round < 2; round++ {
+		for _, tpl := range templates {
+			res, err := sys.ExecuteWithExact(workload.InstantiateTPCH(tpl, rng))
+			if err != nil {
+				log.Fatal(err)
+			}
+			a := perTemplate[tpl.ID]
+			if a == nil {
+				a = &agg{}
+				perTemplate[tpl.ID] = a
+			}
+			for _, row := range res.Rows {
+				for _, c := range row.Cells {
+					den := math.Abs(c.Exact)
+					if den < 1e-6 {
+						continue
+					}
+					a.raw += math.Abs(c.Raw.Value-c.Exact) / den
+					a.imp += math.Abs(c.Improved.Value-c.Exact) / den
+					a.n++
+				}
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(perTemplate))
+	for id := range perTemplate {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Println("template   raw err   improved err   reduction")
+	var totRaw, totImp float64
+	for _, id := range ids {
+		a := perTemplate[id]
+		if a.n == 0 {
+			continue
+		}
+		raw, imp := a.raw/float64(a.n), a.imp/float64(a.n)
+		totRaw += raw
+		totImp += imp
+		fmt.Printf("   Q%-2d     %6.2f%%      %6.2f%%      %5.1f%%\n",
+			id, raw*100, imp*100, reduction(raw, imp)*100)
+	}
+	fmt.Printf("\noverall error reduction: %.1f%%\n",
+		reduction(totRaw, totImp)*100)
+}
+
+func reduction(base, improved float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	if improved > base {
+		return 0
+	}
+	return 1 - improved/base
+}

@@ -1,0 +1,356 @@
+package aqp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Engine is the black-box AQP engine: it evaluates query snippets on a
+// uniform sample and reports raw answers with CLT-based expected errors —
+// exactly the (θ, β) contract §3.1 assumes, where β² is the expectation of
+// the squared deviation of θ from the exact answer.
+type Engine struct {
+	base   *storage.Table
+	sample *Sample
+	cost   CostModel
+}
+
+// NewEngine wires a base relation, its offline sample and a cost model.
+func NewEngine(base *storage.Table, sample *Sample, cost CostModel) *Engine {
+	return &Engine{base: base, sample: sample, cost: cost}
+}
+
+// Base returns the underlying relation.
+func (e *Engine) Base() *storage.Table { return e.base }
+
+// Sample returns the offline sample.
+func (e *Engine) Sample() *Sample { return e.sample }
+
+// Cost returns the engine's cost model.
+func (e *Engine) Cost() CostModel { return e.cost }
+
+// accumulator tracks one snippet's running estimate across batches.
+type accumulator struct {
+	sn       *query.Snippet
+	moments  mathx.Moments // measure values (AVG) or 0/1 indicators (FREQ)
+	scanned  int           // rows examined so far (match or not)
+	baseRows int           // base-relation cardinality, for PopErr
+}
+
+func (a *accumulator) observe(t *storage.Table, row int) {
+	a.scanned++
+	match := a.sn.Region.Matches(t, row)
+	switch a.sn.Kind {
+	case query.FreqAgg:
+		if match {
+			a.moments.Add(1)
+		} else {
+			a.moments.Add(0)
+		}
+	case query.AvgAgg:
+		if match {
+			a.moments.Add(a.sn.Measure(t, row))
+		}
+	}
+}
+
+// minAvgRows is the fewest matching rows before an AVG estimate is
+// considered usable; below this the sample variance itself is too noisy
+// for a meaningful expected error.
+const minAvgRows = 5
+
+// estimate converts the accumulated moments into (θ, β). For AVG the CLT
+// standard error is over matching rows, inflated by a Student-t correction
+// at small counts (the plug-in sample variance understates the expected
+// error there — the kind of estimator overconfidence the paper's
+// diagnostics reference [5] addresses); for FREQ it is the binomial
+// standard error over all scanned rows. ok=false means no usable
+// information yet.
+func (a *accumulator) estimate() (query.ScalarEstimate, bool) {
+	n := a.moments.Count()
+	switch a.sn.Kind {
+	case query.FreqAgg:
+		if n < 2 {
+			return query.ScalarEstimate{}, false
+		}
+		p := a.moments.Mean()
+		popErr := 0.0
+		if a.baseRows > 0 {
+			popErr = math.Sqrt(math.Max(p*(1-p), 0) / float64(a.baseRows))
+		}
+		return query.ScalarEstimate{
+			Value:  p,
+			StdErr: a.moments.StdErr(),
+			PopErr: popErr,
+		}, true
+	default:
+		if n < minAvgRows {
+			return query.ScalarEstimate{}, false
+		}
+		// t-quantile to normal-quantile ratio, ≈ 1 + 1.5/ν.
+		inflate := 1 + 1.5/float64(n-1)
+		popErr := 0.0
+		if a.baseRows > 0 && a.scanned > 0 {
+			// Estimated matching rows in the base relation.
+			matchN := float64(n) / float64(a.scanned) * float64(a.baseRows)
+			if matchN < float64(n) {
+				matchN = float64(n)
+			}
+			popErr = math.Sqrt(a.moments.SampleVariance() / matchN)
+		}
+		return query.ScalarEstimate{
+			Value:  a.moments.Mean(),
+			StdErr: a.moments.StdErr() * inflate,
+			PopErr: popErr,
+		}, true
+	}
+}
+
+// BatchUpdate is one online-aggregation step: the current estimates for all
+// snippets after some prefix of batches, with the simulated time spent so
+// far (plan overhead included).
+type BatchUpdate struct {
+	// Estimates holds the per-snippet raw answers; Valid[i] is false while
+	// snippet i has no usable estimate yet.
+	Estimates []query.ScalarEstimate
+	Valid     []bool
+	// RowsScanned counts sample rows consumed so far.
+	RowsScanned int
+	// SimTime is the simulated elapsed time (§ DESIGN.md substitution).
+	SimTime time.Duration
+	// Batch is the 0-based index of the batch just consumed.
+	Batch int
+}
+
+// OnlineAggregate processes the sample batch by batch, invoking yield after
+// every batch with refreshed estimates — the online-aggregation interface
+// of §7 (deployment scenario 1). Iteration stops early when yield returns
+// false ("users are satisfied with the current accuracy") or when the
+// sample is exhausted.
+func (e *Engine) OnlineAggregate(snips []*query.Snippet, yield func(BatchUpdate) bool) {
+	accs := make([]*accumulator, len(snips))
+	for i, sn := range snips {
+		accs[i] = &accumulator{sn: sn, baseRows: e.sample.BaseRows}
+	}
+	data := e.sample.Data
+	for b := 0; b < e.sample.Batches(); b++ {
+		start, end := e.sample.BatchBounds(b)
+		scanBatch(data, accs, start, end)
+		upd := BatchUpdate{
+			Estimates:   make([]query.ScalarEstimate, len(accs)),
+			Valid:       make([]bool, len(accs)),
+			RowsScanned: end,
+			SimTime:     e.cost.QueryTime(end),
+			Batch:       b,
+		}
+		for i, a := range accs {
+			upd.Estimates[i], upd.Valid[i] = a.estimate()
+		}
+		if !yield(upd) {
+			return
+		}
+	}
+}
+
+// RunToCompletion consumes the whole sample and returns the final update.
+func (e *Engine) RunToCompletion(snips []*query.Snippet) BatchUpdate {
+	var last BatchUpdate
+	e.OnlineAggregate(snips, func(u BatchUpdate) bool {
+		last = u
+		return true
+	})
+	return last
+}
+
+// TimeBound evaluates the snippets within a simulated time budget,
+// predicting the largest scannable prefix from the cost model (§7,
+// deployment scenario 2, and Appendix C.2's NoLearn).
+func (e *Engine) TimeBound(snips []*query.Snippet, budget time.Duration) BatchUpdate {
+	rows := e.cost.RowsWithin(budget)
+	if rows > e.sample.Data.Rows() {
+		rows = e.sample.Data.Rows()
+	}
+	accs := make([]*accumulator, len(snips))
+	for i, sn := range snips {
+		accs[i] = &accumulator{sn: sn, baseRows: e.sample.BaseRows}
+	}
+	scanBatch(e.sample.Data, accs, 0, rows)
+	upd := BatchUpdate{
+		Estimates:   make([]query.ScalarEstimate, len(accs)),
+		Valid:       make([]bool, len(accs)),
+		RowsScanned: rows,
+		SimTime:     e.cost.QueryTime(rows),
+	}
+	for i, a := range accs {
+		upd.Estimates[i], upd.Valid[i] = a.estimate()
+	}
+	return upd
+}
+
+// parallelThreshold is the snippet count past which a batch scan fans out
+// across goroutines. Snippets are independent (each owns its accumulator),
+// so partitioning them is race-free; below the threshold the goroutine
+// overhead exceeds the win.
+const parallelThreshold = 8
+
+// scanBatch feeds rows [start, end) of data into every accumulator,
+// fanning snippets out over GOMAXPROCS workers for wide queries (grouped
+// queries can decompose into hundreds of snippets; Figure 3).
+func scanBatch(data *storage.Table, accs []*accumulator, start, end int) {
+	if len(accs) < parallelThreshold {
+		for row := start; row < end; row++ {
+			for _, a := range accs {
+				a.observe(data, row)
+			}
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(accs) {
+		workers = len(accs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(accs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(accs) {
+			hi = len(accs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []*accumulator) {
+			defer wg.Done()
+			for row := start; row < end; row++ {
+				for _, a := range part {
+					a.observe(data, row)
+				}
+			}
+		}(accs[lo:hi])
+	}
+	wg.Wait()
+}
+
+// Exact computes the snippet's exact answer on the base relation — the
+// ground truth θ̄ experiments compare against.
+func (e *Engine) Exact(sn *query.Snippet) float64 {
+	t := e.base
+	switch sn.Kind {
+	case query.FreqAgg:
+		match := 0
+		for row := 0; row < t.Rows(); row++ {
+			if sn.Region.Matches(t, row) {
+				match++
+			}
+		}
+		if t.Rows() == 0 {
+			return 0
+		}
+		return float64(match) / float64(t.Rows())
+	default:
+		var m mathx.Moments
+		for row := 0; row < t.Rows(); row++ {
+			if sn.Region.Matches(t, row) {
+				m.Add(sn.Measure(t, row))
+			}
+		}
+		return m.Mean()
+	}
+}
+
+// GroupRows discovers the distinct group values of a grouped statement by
+// scanning the sample (ordered for determinism). It returns one empty group
+// for ungrouped statements.
+func (e *Engine) GroupRows(groupCols []int, region *query.Region) ([][]query.GroupValue, error) {
+	if len(groupCols) == 0 {
+		return [][]query.GroupValue{nil}, nil
+	}
+	t := e.sample.Data
+	seen := map[string][]query.GroupValue{}
+	var keys []string
+	for row := 0; row < t.Rows(); row++ {
+		if region != nil && !region.Matches(t, row) {
+			continue
+		}
+		key := ""
+		gvs := make([]query.GroupValue, len(groupCols))
+		for i, col := range groupCols {
+			def := t.Schema().Col(col)
+			if def.Kind == storage.Categorical {
+				v := t.StrAt(row, col)
+				gvs[i] = query.GroupValue{Col: col, Str: v}
+				key += "|" + v
+			} else {
+				v := t.NumAt(row, col)
+				gvs[i] = query.GroupValue{Col: col, Num: v}
+				key += "|" + fmt.Sprintf("%g", v)
+			}
+		}
+		if _, ok := seen[key]; !ok {
+			seen[key] = gvs
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([][]query.GroupValue, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+// AnswerCache implements the paper's Baseline2 (Appendix C.1): it memoizes
+// past snippet answers by canonical key and replays the lowest-error answer
+// for an identical snippet, providing no benefit to novel snippets.
+type AnswerCache struct {
+	byKey map[string]query.ScalarEstimate
+}
+
+// NewAnswerCache returns an empty cache.
+func NewAnswerCache() *AnswerCache {
+	return &AnswerCache{byKey: make(map[string]query.ScalarEstimate)}
+}
+
+// Lookup returns the cached answer for an identical snippet, if any.
+func (c *AnswerCache) Lookup(sn *query.Snippet) (query.ScalarEstimate, bool) {
+	est, ok := c.byKey[sn.Key()]
+	return est, ok
+}
+
+// Store records an answer, keeping the lowest-error instance ("when there
+// are multiple instances of the same query, Baseline2 caches the one with
+// the lowest expected error").
+func (c *AnswerCache) Store(sn *query.Snippet, est query.ScalarEstimate) {
+	key := sn.Key()
+	if old, ok := c.byKey[key]; !ok || est.StdErr < old.StdErr {
+		c.byKey[key] = est
+	}
+}
+
+// Len returns the number of cached snippets.
+func (c *AnswerCache) Len() int { return len(c.byKey) }
+
+// Sanitize clamps non-finite error estimates; online aggregation can yield
+// +Inf standard errors before two matching rows arrive.
+func Sanitize(est query.ScalarEstimate) query.ScalarEstimate {
+	if math.IsNaN(est.Value) {
+		est.Value = 0
+	}
+	if math.IsNaN(est.StdErr) || math.IsInf(est.StdErr, 0) {
+		est.StdErr = math.MaxFloat64
+	}
+	if math.IsNaN(est.PopErr) || math.IsInf(est.PopErr, 0) {
+		est.PopErr = 0
+	}
+	return est
+}

@@ -1,0 +1,73 @@
+package aqp
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// Sample is an offline uniform random sample of a base relation, stored in
+// random order so that any prefix is itself a uniform sample — the property
+// online aggregation needs to refine answers batch by batch (§8.1's
+// NoLearn "creates random samples of the original tables offline and splits
+// them into multiple batches of tuples").
+type Sample struct {
+	// Data holds the sampled rows in shuffled order.
+	Data *storage.Table
+	// Fraction is the sampling ratio |sample| / |base|.
+	Fraction float64
+	// BatchSize is the number of rows per online-aggregation batch.
+	BatchSize int
+	// BaseRows is the base relation's cardinality (the |r| in
+	// COUNT(*) = FREQ(*) × table cardinality).
+	BaseRows int
+}
+
+// DefaultBatches is how many batches a sample is split into when no batch
+// size is specified.
+const DefaultBatches = 20
+
+// BuildSample draws a uniform random sample without replacement.
+// fraction must be in (0, 1]; batch <= 0 selects Rows/DefaultBatches.
+func BuildSample(base *storage.Table, fraction float64, batch int, seed int64) (*Sample, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("aqp: sample fraction %v out of (0,1]", fraction)
+	}
+	n := base.Rows()
+	k := int(float64(n) * fraction)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rng := randx.New(seed)
+	idx := rng.Perm(n)[:k]
+	data := base.SelectRows(base.Name()+"_sample", idx)
+	if batch <= 0 {
+		batch = (k + DefaultBatches - 1) / DefaultBatches
+		if batch < 1 {
+			batch = 1
+		}
+	}
+	return &Sample{Data: data, Fraction: fraction, BatchSize: batch, BaseRows: n}, nil
+}
+
+// Batches returns the number of batches in the sample.
+func (s *Sample) Batches() int {
+	if s.Data.Rows() == 0 {
+		return 0
+	}
+	return (s.Data.Rows() + s.BatchSize - 1) / s.BatchSize
+}
+
+// BatchBounds returns the [start, end) row range of batch i.
+func (s *Sample) BatchBounds(i int) (int, int) {
+	start := i * s.BatchSize
+	end := start + s.BatchSize
+	if end > s.Data.Rows() {
+		end = s.Data.Rows()
+	}
+	return start, end
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/query"
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// Drift summarizes how one aggregate function's values differ between the
+// old relation r and appended tuples r^a (Appendix D: the random variable
+// s_k with mean μ_k and variance η²_k).
+type Drift struct {
+	Mu   float64 // E[s_k]
+	Eta2 float64 // Var(s_k)
+}
+
+// EstimateDrift estimates (μ_k, η²_k) for one measure function by
+// comparing bucketed means of the old and appended relations — the "small
+// samples of r and r^a" Appendix D prescribes. Buckets follow the first
+// numeric dimension attribute's value (falling back to random assignment
+// when there is none), so η² captures how unevenly the appended data
+// drifts *across query regions* — the dispersion that makes Lemma 3's
+// inflated error bounds valid in Figure 12's experiment.
+func EstimateDrift(old, appended *storage.Table, measure func(*storage.Table, int) float64, buckets int, seed int64) Drift {
+	if buckets < 2 {
+		buckets = 2
+	}
+	rng := randx.New(seed)
+	oldMeans := bucketMeans(old, measure, buckets, rng)
+	newMeans := bucketMeans(appended, measure, buckets, rng)
+	var diffs []float64
+	for i := 0; i < buckets && i < len(oldMeans) && i < len(newMeans); i++ {
+		if !math.IsNaN(oldMeans[i]) && !math.IsNaN(newMeans[i]) {
+			diffs = append(diffs, newMeans[i]-oldMeans[i])
+		}
+	}
+	if len(diffs) == 0 {
+		return Drift{}
+	}
+	mean := 0.0
+	for _, d := range diffs {
+		mean += d
+	}
+	mean /= float64(len(diffs))
+	variance := 0.0
+	for _, d := range diffs {
+		variance += (d - mean) * (d - mean)
+	}
+	if len(diffs) > 1 {
+		variance /= float64(len(diffs) - 1)
+	}
+	return Drift{Mu: mean, Eta2: variance}
+}
+
+func bucketMeans(t *storage.Table, measure func(*storage.Table, int) float64, buckets int, rng *randx.Source) []float64 {
+	// Prefer bucketing along the first numeric dimension: the drift that
+	// threatens Verdict's bounds is the one that varies with the selection
+	// regions queries actually use.
+	dimCol, lo, hi := -1, 0.0, 0.0
+	for _, col := range t.Schema().DimensionCols() {
+		if t.Schema().Col(col).Kind == storage.Numeric {
+			l, h := t.Domain(col)
+			if h > l {
+				dimCol, lo, hi = col, l, h
+				break
+			}
+		}
+	}
+	sums := make([]float64, buckets)
+	counts := make([]int, buckets)
+	for row := 0; row < t.Rows(); row++ {
+		var b int
+		if dimCol >= 0 {
+			b = int((t.NumAt(row, dimCol) - lo) / (hi - lo) * float64(buckets))
+			if b < 0 {
+				b = 0
+			}
+			if b >= buckets {
+				b = buckets - 1
+			}
+		} else {
+			b = rng.Intn(buckets)
+		}
+		sums[b] += measure(t, row)
+		counts[b]++
+	}
+	out := make([]float64, buckets)
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// ApplyAppend adjusts every past snippet of one aggregate function for
+// newly appended tuples per Lemma 3:
+//
+//	θ_i  ← θ_i + μ_k·|r^a|/(|r|+|r^a|)
+//	β²_i ← β²_i + (|r^a|·η_k/(|r|+|r^a|))²
+//
+// oldRows and appendedRows are |r| and |r^a|. The covariance factorization
+// is invalidated (β changed on the diagonal); the next inference rebuilds.
+func (v *Verdict) ApplyAppend(id query.FuncID, drift Drift, oldRows, appendedRows int) {
+	m, ok := v.models[id]
+	if !ok {
+		return
+	}
+	ratio := float64(appendedRows) / float64(oldRows+appendedRows)
+	eta := math.Sqrt(math.Max(drift.Eta2, 0))
+	for i := range m.entries {
+		m.entries[i].theta += drift.Mu * ratio
+		b2 := m.entries[i].beta*m.entries[i].beta + (ratio*eta)*(ratio*eta)
+		m.entries[i].beta = math.Sqrt(b2)
+		m.entries[i].obs = kernel.Observation(m.entries[i].sn, m.entries[i].theta)
+	}
+	m.refreshMoments()
+	m.chol = nil
+}
+
+// OnAppend is the convenience driver: it estimates drift for every AVG
+// model from the old and appended relations and applies Lemma 3's
+// adjustment. FREQ models receive only the cardinality-driven adjustment
+// (μ=0) unless the caller supplies explicit drift via ApplyAppend.
+func (v *Verdict) OnAppend(old, appended *storage.Table, seed int64) {
+	for _, id := range v.order {
+		m := v.models[id]
+		if len(m.entries) == 0 {
+			continue
+		}
+		var d Drift
+		if id.Kind == query.AvgAgg {
+			measure := m.entries[0].sn.Measure
+			if measure != nil {
+				d = EstimateDrift(old, appended, measure, 20, seed)
+			}
+		}
+		v.ApplyAppend(id, d, old.Rows(), appended.Rows())
+	}
+}

@@ -1,0 +1,93 @@
+// Package core implements Verdict itself: the query synopsis, the
+// maximum-entropy (multivariate normal) model over snippet answers, the
+// O(n²) inference of improved answers and errors (Eq. 4–5 via the block
+// forms of Eq. 11–12), model validation (Appendix B), offline correlation-
+// parameter learning (Appendix A), and the data-append generalization
+// (Appendix D). The package corresponds to the shaded "Inference / Query
+// Synopsis / Model / Learning" boxes of Figure 2; the AQP engine it wraps
+// lives in internal/aqp and stays a black box.
+package core
+
+import "repro/internal/mathx"
+
+// Config carries Verdict's tunables; zero values select the paper's
+// defaults.
+type Config struct {
+	// Nmax bounds how many result-set groups receive improved answers per
+	// query (§2.3; default 1,000).
+	Nmax int
+	// SynopsisCap is C_g, the per-aggregate-function snippet quota with
+	// LRU replacement (§2.3; default 2,000).
+	SynopsisCap int
+	// Confidence δ is the probability used for reported error bounds
+	// (default 0.95).
+	Confidence float64
+	// ValidationConfidence δ_v is the likely-region probability of the
+	// model validation step (Appendix B; default 0.99).
+	ValidationConfidence float64
+	// LearnCap bounds how many recent snippets the likelihood optimization
+	// of Appendix A consumes; the full synopsis still participates in
+	// inference. Default 150 (the O(n³)-per-evaluation likelihood makes
+	// unbounded learning impractical; the paper likewise trains offline).
+	LearnCap int
+	// MultiStarts is the number of extra random restarts the learner adds
+	// to the paper's deterministic l=(max−min) starting point (default 3).
+	MultiStarts int
+	// DisableValidation turns off Appendix B's model validation — ONLY for
+	// the ablation of Figure 9, which demonstrates why validation matters.
+	// Production configurations must leave it false: Theorem 1's guarantee
+	// depends on validation.
+	DisableValidation bool
+}
+
+// Defaults per the paper.
+const (
+	DefaultNmax                 = 1000
+	DefaultSynopsisCap          = 2000
+	DefaultConfidence           = 0.95
+	DefaultValidationConfidence = 0.99
+	DefaultLearnCap             = 150
+	DefaultMultiStarts          = 3
+)
+
+func (c Config) withDefaults() Config {
+	if c.Nmax <= 0 {
+		c.Nmax = DefaultNmax
+	}
+	if c.SynopsisCap <= 0 {
+		c.SynopsisCap = DefaultSynopsisCap
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = DefaultConfidence
+	}
+	if c.ValidationConfidence <= 0 || c.ValidationConfidence >= 1 {
+		c.ValidationConfidence = DefaultValidationConfidence
+	}
+	if c.LearnCap <= 0 {
+		c.LearnCap = DefaultLearnCap
+	}
+	if c.MultiStarts < 0 {
+		c.MultiStarts = 0
+	} else if c.MultiStarts == 0 {
+		c.MultiStarts = DefaultMultiStarts
+	}
+	return c
+}
+
+// confidenceMultiplier returns α_δ for the configured reporting confidence.
+func (c Config) confidenceMultiplier() float64 {
+	a, err := mathx.ConfidenceMultiplier(c.Confidence)
+	if err != nil {
+		panic(err) // withDefaults guarantees a valid probability
+	}
+	return a
+}
+
+// validationMultiplier returns α for the validation likely-region.
+func (c Config) validationMultiplier() float64 {
+	a, err := mathx.ConfidenceMultiplier(c.ValidationConfidence)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// Example runs the full pipeline on a deterministic relation: answer a few
+// queries approximately, learn from them, and answer a new query with a
+// tighter error than sampling alone provides.
+func Example() {
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "day", Kind: storage.Numeric, Role: storage.Dimension, Min: 0, Max: 100},
+		{Name: "sales", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	table := storage.NewTable("shop", schema)
+	rng := randx.New(1)
+	for i := 0; i < 50000; i++ {
+		day := rng.Uniform(0, 100)
+		if err := table.AppendRow([]storage.Value{
+			storage.Num(day),
+			storage.Num(200 + 3*day + rng.Normal(0, 20)),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sample, err := aqp.BuildSample(table, 0.1, 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{})
+
+	for _, sql := range []string{
+		"SELECT AVG(sales) FROM shop WHERE day BETWEEN 0 AND 25",
+		"SELECT AVG(sales) FROM shop WHERE day BETWEEN 20 AND 45",
+		"SELECT AVG(sales) FROM shop WHERE day BETWEEN 40 AND 65",
+		"SELECT AVG(sales) FROM shop WHERE day BETWEEN 60 AND 85",
+	} {
+		if _, err := sys.Execute(sql); err != nil {
+			panic(err)
+		}
+	}
+	if err := sys.Verdict().Train(); err != nil {
+		panic(err)
+	}
+
+	res, err := sys.Execute("SELECT AVG(sales) FROM shop WHERE day BETWEEN 30 AND 55")
+	if err != nil {
+		panic(err)
+	}
+	cell := res.Rows[0].Cells[0]
+	fmt.Printf("improved error is smaller than raw error: %v\n", cell.Improved.StdErr < cell.Raw.StdErr)
+	fmt.Printf("model used: %v\n", cell.UsedModel)
+	// Output:
+	// improved error is smaller than raw error: true
+	// model used: true
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/query"
+)
+
+// Improved is Verdict's output for one snippet: the improved answer and
+// improved error (Definition in §2.1), plus diagnostics the experiments
+// report.
+type Improved struct {
+	// Answer and Err are θ̂ and β̂ — the model-based values when the model
+	// passed validation, the raw values otherwise.
+	Answer float64
+	Err    float64
+	// UsedModel reports whether the model-based answer survived validation.
+	UsedModel bool
+	// ModelAnswer/ModelErr are θ̈ and β̈ (Eq. 12) regardless of validation,
+	// for diagnostics; they equal the raw values when no model exists.
+	ModelAnswer float64
+	ModelErr    float64
+	// PriorPrediction is the GP prediction from past snippets alone (the θ
+	// of Eq. 11) — what the model expected before seeing the raw answer.
+	PriorPrediction float64
+	// Gamma2 is γ² of Eq. 11: the model's predictive variance.
+	Gamma2 float64
+}
+
+// infer computes the improved answer for a new snippet given its raw
+// (θ_{n+1}, β_{n+1}), using the block forms of Eq. 11–12:
+//
+//	γ² = κ̄² − kᵀ Σ_n⁻¹ k
+//	θ' = μ̄_{n+1} + kᵀ Σ_n⁻¹ (θ_n − μ_n)
+//	θ̈  = (β²·θ' + γ²·θ_raw) / (β² + γ²)
+//	β̈² = β²·γ² / (β² + γ²)
+//
+// followed by Appendix B's model validation. Both steps cost O(n²).
+func (m *model) infer(sn *query.Snippet, raw query.ScalarEstimate, cfg Config) Improved {
+	out := Improved{
+		Answer:      raw.Value,
+		Err:         raw.StdErr,
+		ModelAnswer: raw.Value,
+		ModelErr:    raw.StdErr,
+	}
+	if len(m.entries) == 0 {
+		return out // empty synopsis: Theorem 1's equality case
+	}
+	if err := m.ensureTrained(); err != nil {
+		return out
+	}
+
+	n := len(m.entries)
+	k := make([]float64, n)
+	resid := make([]float64, n)
+	mu := m.mu()
+	for i, e := range m.entries {
+		k[i] = kernel.Covariance(e.sn, sn, m.params)
+		resid[i] = e.theta - kernel.PriorMean(e.sn, mu)
+	}
+	// Prior variance of θ̄_{n+1}: kernel self-covariance plus the
+	// finite-population nugget the engine reported for this snippet.
+	kappa2 := kernel.Variance(sn, m.params) + raw.PopErr*raw.PopErr
+
+	w, err := m.chol.Solve(k)
+	if err != nil {
+		return out
+	}
+	gamma2 := kappa2 - linalg.Dot(k, w)
+	if gamma2 < 0 {
+		gamma2 = 0 // numerical floor; Σ_n ⪰ exact-answer covariance
+	}
+	prior := kernel.PriorMean(sn, mu) + linalg.Dot(w, resid)
+	out.PriorPrediction = prior
+	out.Gamma2 = gamma2
+
+	beta2 := raw.StdErr * raw.StdErr
+	if math.IsInf(beta2, 0) || beta2 >= math.MaxFloat64 {
+		// The AQP engine had nothing: the model alone answers, with γ as
+		// the error (the β→∞ limit of Eq. 12).
+		out.ModelAnswer = prior
+		out.ModelErr = math.Sqrt(gamma2)
+	} else {
+		denom := beta2 + gamma2
+		if denom == 0 {
+			// Both exact: keep the raw answer (β̂ = β = 0).
+			return out
+		}
+		out.ModelAnswer = (beta2*prior + gamma2*raw.Value) / denom
+		out.ModelErr = math.Sqrt(beta2 * gamma2 / denom)
+	}
+
+	if cfg.DisableValidation || m.validate(sn, raw, out, cfg) {
+		out.Answer = out.ModelAnswer
+		out.Err = out.ModelErr
+		out.UsedModel = true
+	}
+	return out
+}
+
+// validate implements Appendix B: reject negative FREQ estimates, and
+// reject models whose likely region (θ̈ ± α_{δv}·β_raw) excludes the raw
+// answer.
+func (m *model) validate(sn *query.Snippet, raw query.ScalarEstimate, res Improved, cfg Config) bool {
+	if sn.Kind == query.FreqAgg && res.ModelAnswer < 0 {
+		return false
+	}
+	if math.IsInf(raw.StdErr, 0) || raw.StdErr >= math.MaxFloat64 {
+		// No raw information to contradict the model.
+		return true
+	}
+	if raw.StdErr == 0 {
+		// Exact raw answer: model must agree exactly to add anything;
+		// Eq. 12 already returns the raw answer, so accept.
+		return true
+	}
+	t := cfg.validationMultiplier() * raw.StdErr
+	return math.Abs(raw.Value-res.ModelAnswer) <= t
+}
+
+// ErrorBound converts an Improved result into the half-width of the
+// δ-confidence interval, clamping FREQ intervals at zero per Appendix B.
+func ErrorBound(sn *query.Snippet, res Improved, cfg Config) (lo, hi float64) {
+	cfg = cfg.withDefaults()
+	half := cfg.confidenceMultiplier() * res.Err
+	lo, hi = res.Answer-half, res.Answer+half
+	if sn.Kind == query.FreqAgg && lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}

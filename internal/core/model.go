@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/mathx"
+	"repro/internal/query"
+)
+
+// entry is one past snippet in the synopsis: (q_i, θ_i, β_i) plus the
+// model-statistic observation derived from it (Appendix F.3).
+type entry struct {
+	sn     *query.Snippet
+	theta  float64 // raw answer θ_i
+	beta   float64 // raw expected error β_i
+	nugget float64 // finite-population deviation of θ̄_i (ScalarEstimate.PopErr)
+	obs    float64 // kernel.Observation(sn, theta): value (AVG) or density (FREQ)
+}
+
+// priorVar is the prior variance of θ̄_i: the kernel self-covariance plus
+// the per-snippet finite-population nugget (see ScalarEstimate.PopErr).
+func (e *entry) priorVar(p kernel.Params) float64 {
+	return kernel.Variance(e.sn, p) + e.nugget*e.nugget
+}
+
+// model holds the per-aggregate-function state: the synopsis slice (LRU
+// order, oldest first), the learned correlation parameters, and the
+// factorized covariance matrix Σ_n of past raw answers.
+type model struct {
+	id      query.FuncID
+	cfg     Config
+	entries []entry
+	byKey   map[string]int // snippet key -> index in entries
+
+	params      kernel.Params
+	paramsFixed bool // set by SetParams: learning must not overwrite
+
+	// Trained state: chol factors Σ_n (cov of raw answers: exact-answer
+	// covariances plus β² on the diagonal, Eq. 6). nil until trained.
+	chol *linalg.Cholesky
+	// obsMoments tracks the running mean/variance of observations, used
+	// for the prior mean μ and the analytic σ² (Appendix F.3).
+	obsMoments mathx.Moments
+}
+
+func newModel(id query.FuncID, cfg Config, params kernel.Params) *model {
+	return &model{
+		id:     id,
+		cfg:    cfg,
+		byKey:  make(map[string]int),
+		params: params,
+	}
+}
+
+// mu returns the prior mean statistic (mean of observations; zero when the
+// synopsis is empty).
+func (m *model) mu() float64 { return m.obsMoments.Mean() }
+
+// sigma2Analytic estimates σ²_g by moment matching: Appendix F.3 equates
+// σ²_g with the variance of ν_g, estimated from the spread of past
+// answers. Because the kernel's per-snippet self-factor s_i (the product of
+// Eq. 10's integrals and Eq. 16's overlap counts at i=j, with σ²=1) differs
+// across snippets — and, for FREQ with several categorical dimensions, can
+// be far from the naive density-variance scaling — we solve for the σ²
+// that makes the model's prior variances match the observed squared
+// residuals: σ² = Σ((θ_i−m_i)² − β_i²)⁺ / Σ s_i. The residuals subtract
+// the sampling noise β² so σ² reflects the underlying spread only.
+func (m *model) sigma2Analytic(p kernel.Params) float64 {
+	return sigma2For(m.entries, m.mu(), p)
+}
+
+func sigma2For(entries []entry, mu float64, p kernel.Params) float64 {
+	if len(entries) == 0 {
+		return 1e-12
+	}
+	unit := p.Clone()
+	unit.Sigma2 = 1
+	var num, den, scaleAcc float64
+	for _, e := range entries {
+		r := e.theta - kernel.PriorMean(e.sn, mu)
+		r2 := r*r - e.beta*e.beta - e.nugget*e.nugget
+		if r2 > 0 {
+			num += r2
+		}
+		den += kernel.Variance(e.sn, unit)
+		scaleAcc += math.Abs(e.theta)
+	}
+	if den <= 0 {
+		return 1e-12
+	}
+	if num <= 0 {
+		// Degenerate synopsis (e.g. one exact answer): a small positive
+		// prior variance keeps Σ well-conditioned without claiming
+		// certainty.
+		scale := scaleAcc / float64(len(entries))
+		if scale == 0 {
+			scale = 1
+		}
+		return scale * scale * 1e-4 * float64(len(entries)) / den
+	}
+	return num / den
+}
+
+// record inserts or refreshes a snippet answer, maintaining the LRU quota
+// C_g. It attempts an O(n²) incremental Cholesky extension; structural
+// changes (replacement, eviction) invalidate the factorization instead,
+// and rebuild() restores it lazily.
+func (m *model) record(sn *query.Snippet, est query.ScalarEstimate) {
+	key := sn.Key()
+	if i, ok := m.byKey[key]; ok {
+		// Repeated snippet: keep the lower-error answer, refresh recency.
+		if est.StdErr < m.entries[i].beta {
+			m.entries[i].theta = est.Value
+			m.entries[i].beta = est.StdErr
+			m.entries[i].nugget = est.PopErr
+			m.entries[i].obs = kernel.Observation(sn, est.Value)
+		}
+		m.touch(i)
+		m.chol = nil // ordering/values changed; rebuild lazily
+		m.refreshMoments()
+		return
+	}
+	e := entry{sn: sn, theta: est.Value, beta: est.StdErr, nugget: est.PopErr,
+		obs: kernel.Observation(sn, est.Value)}
+	if len(m.entries) >= m.cfg.SynopsisCap {
+		m.evictOldest()
+	}
+	// Incremental extension keeps per-query maintenance O(n²) (Lemma 2).
+	if m.chol != nil {
+		b := make([]float64, len(m.entries))
+		for i, pe := range m.entries {
+			b[i] = kernel.Covariance(pe.sn, sn, m.params)
+		}
+		diag := e.priorVar(m.params) + e.beta*e.beta
+		if ext, err := m.chol.Extend(b, diag); err == nil {
+			m.chol = ext
+		} else {
+			m.chol = nil
+		}
+	}
+	m.byKey[key] = len(m.entries)
+	m.entries = append(m.entries, e)
+	m.obsMoments.Add(e.obs)
+}
+
+// touch moves entry i to the most-recent end.
+func (m *model) touch(i int) {
+	e := m.entries[i]
+	m.entries = append(m.entries[:i], m.entries[i+1:]...)
+	m.entries = append(m.entries, e)
+	m.reindex()
+}
+
+func (m *model) evictOldest() {
+	old := m.entries[0]
+	delete(m.byKey, old.sn.Key())
+	m.entries = m.entries[1:]
+	m.reindex()
+	m.chol = nil
+	m.refreshMoments()
+}
+
+func (m *model) reindex() {
+	for i := range m.entries {
+		m.byKey[m.entries[i].sn.Key()] = i
+	}
+}
+
+func (m *model) refreshMoments() {
+	var mm mathx.Moments
+	for _, e := range m.entries {
+		mm.Add(e.obs)
+	}
+	m.obsMoments = mm
+}
+
+// sigma builds Σ_n — the covariance matrix of past raw answers under the
+// current parameters (Eq. 6: exact-answer covariances plus β² diagonal).
+func (m *model) sigma() *linalg.Matrix {
+	n := len(m.entries)
+	s := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			c := kernel.Covariance(m.entries[i].sn, m.entries[j].sn, m.params)
+			if i == j {
+				e := &m.entries[i]
+				c += e.beta*e.beta + e.nugget*e.nugget
+			}
+			s.Set(i, j, c)
+			s.Set(j, i, c)
+		}
+	}
+	return s
+}
+
+// rebuild factorizes Σ_n from scratch (Algorithm 1's offline covariance
+// precomputation), refreshing the moment-matched σ² first (unless the
+// parameters were pinned by SetParams). A synopsis smaller than one snippet
+// clears the factor.
+func (m *model) rebuild() error {
+	if len(m.entries) == 0 {
+		m.chol = nil
+		return nil
+	}
+	if !m.paramsFixed {
+		m.params.Sigma2 = m.sigma2Analytic(m.params)
+	}
+	c, err := linalg.NewCholesky(m.sigma())
+	if err != nil {
+		return err
+	}
+	m.chol = c
+	return nil
+}
+
+// ensureTrained rebuilds the factorization if invalidated.
+func (m *model) ensureTrained() error {
+	if m.chol == nil || m.chol.Size() != len(m.entries) {
+		return m.rebuild()
+	}
+	return nil
+}
+
+// footprintBytes approximates the synopsis memory footprint of this model:
+// parsed snippets, answers and the factorized covariance (§8.5's
+// measurement).
+func (m *model) footprintBytes() int {
+	n := len(m.entries)
+	perEntry := 200 // snippet struct, region maps, key string
+	return n*perEntry + n*n*8
+}

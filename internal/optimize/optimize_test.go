@@ -1,0 +1,190 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func rosenbrock(x []float64) float64 {
+	s := 0.0
+	for i := 0; i+1 < len(x); i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s
+}
+
+func TestNelderMeadSphere(t *testing.T) {
+	r := NelderMead(sphere, []float64{3, -2, 5}, Options{})
+	if r.F > 1e-8 {
+		t.Fatalf("sphere minimum not found: f=%v x=%v", r.F, r.X)
+	}
+	for _, v := range r.X {
+		if math.Abs(v) > 1e-3 {
+			t.Fatalf("x not near origin: %v", r.X)
+		}
+	}
+}
+
+func TestNelderMeadRosenbrock2D(t *testing.T) {
+	r := NelderMead(rosenbrock, []float64{-1.2, 1}, Options{MaxIter: 2000})
+	if math.Abs(r.X[0]-1) > 0.02 || math.Abs(r.X[1]-1) > 0.02 {
+		t.Fatalf("rosenbrock optimum missed: %v (f=%v)", r.X, r.F)
+	}
+}
+
+func TestNelderMeadShiftedQuadratic(t *testing.T) {
+	f := func(seed int64) bool {
+		// Deterministic shifted quadratic with seed-derived center.
+		c := []float64{
+			float64(seed%7) - 3,
+			float64(seed%11) - 5,
+		}
+		obj := func(x []float64) float64 {
+			dx, dy := x[0]-c[0], x[1]-c[1]
+			return dx*dx + 3*dy*dy + 1.5
+		}
+		r := NelderMead(obj, []float64{0, 0}, Options{MaxIter: 800})
+		return math.Abs(r.X[0]-c[0]) < 1e-2 && math.Abs(r.X[1]-c[1]) < 1e-2 &&
+			math.Abs(r.F-1.5) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNelderMeadHandlesNaN(t *testing.T) {
+	// Objective undefined (NaN) outside the unit disk; NM should still find
+	// the inside minimum at (0.2, 0).
+	obj := func(x []float64) float64 {
+		if x[0]*x[0]+x[1]*x[1] > 1 {
+			return math.NaN()
+		}
+		d := x[0] - 0.2
+		return d*d + x[1]*x[1]
+	}
+	r := NelderMead(obj, []float64{0, 0}, Options{})
+	if math.Abs(r.X[0]-0.2) > 1e-3 || math.Abs(r.X[1]) > 1e-3 {
+		t.Fatalf("NaN-guarded optimum missed: %v", r.X)
+	}
+}
+
+func TestMultiStartEscapesLocalMinimum(t *testing.T) {
+	// Double well: local min near x=-1 (f=0.5), global near x=2 (f=0).
+	obj := func(x []float64) float64 {
+		v := x[0]
+		a := (v + 1) * (v + 1)
+		b := (v - 2) * (v - 2)
+		return math.Min(a+0.5, b)
+	}
+	// Single start from the wrong basin gets stuck.
+	single := NelderMead(obj, []float64{-1.4}, Options{})
+	if single.F < 0.4 {
+		t.Skipf("single start unexpectedly escaped (f=%v)", single.F)
+	}
+	multi, err := MultiStart(obj, [][]float64{{-1.4}}, 20, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.F > 1e-4 {
+		t.Fatalf("multi-start failed to find global optimum: f=%v x=%v", multi.F, multi.X)
+	}
+}
+
+func TestMultiStartNoStarts(t *testing.T) {
+	if _, err := MultiStart(sphere, nil, 3, 1, Options{}); err == nil {
+		t.Fatal("expected error with no starts")
+	}
+}
+
+func TestGradient(t *testing.T) {
+	g := Gradient(sphere, []float64{1, -2}, 0)
+	if math.Abs(g[0]-2) > 1e-4 || math.Abs(g[1]+4) > 1e-4 {
+		t.Fatalf("gradient=%v want [2 -4]", g)
+	}
+}
+
+func TestGradientNearZeroAtOptimum(t *testing.T) {
+	r := NelderMead(rosenbrock, []float64{-1.2, 1}, Options{MaxIter: 4000, Tol: 1e-12})
+	g := Gradient(rosenbrock, r.X, 0)
+	for _, v := range g {
+		if math.Abs(v) > 0.5 {
+			t.Fatalf("gradient not small at optimum: %v (x=%v)", g, r.X)
+		}
+	}
+}
+
+func TestGoldenSectionViaPolish(t *testing.T) {
+	// Polish must not worsen the result.
+	start := Result{X: []float64{0.3, -0.4}, F: sphere([]float64{0.3, -0.4})}
+	evals := 0
+	out := polish(sphere, start, &evals)
+	if out.F > start.F {
+		t.Fatalf("polish worsened: %v -> %v", start.F, out.F)
+	}
+	if evals == 0 {
+		t.Fatal("polish did not evaluate")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIter != 400 || o.Tol != 1e-8 || o.InitialStep != 0.5 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{MaxIter: 7, Tol: 1, InitialStep: 2}.withDefaults()
+	if o2.MaxIter != 7 || o2.Tol != 1 || o2.InitialStep != 2 {
+		t.Fatalf("explicit options overwritten: %+v", o2)
+	}
+}
+
+func TestCoordinateDescentAnisotropic(t *testing.T) {
+	// Strongly anisotropic quadratic: minimum at (2, -3, 0.5) with very
+	// different curvatures — the shape kernel length-scale fitting has.
+	obj := func(x []float64) float64 {
+		d0, d1, d2 := x[0]-2, x[1]+3, x[2]-0.5
+		return 100*d0*d0 + 0.01*d1*d1 + d2*d2
+	}
+	lo := []float64{-10, -10, -10}
+	hi := []float64{10, 10, 10}
+	r := CoordinateDescent(obj, []float64{9, 9, 9}, lo, hi, 3, 40)
+	if math.Abs(r.X[0]-2) > 1e-3 || math.Abs(r.X[1]+3) > 1e-2 || math.Abs(r.X[2]-0.5) > 1e-3 {
+		t.Fatalf("optimum missed: %v (f=%v)", r.X, r.F)
+	}
+	if r.Evals == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestCoordinateDescentRespectsBounds(t *testing.T) {
+	obj := func(x []float64) float64 { return -x[0] } // pushes to upper bound
+	r := CoordinateDescent(obj, []float64{0}, []float64{-1}, []float64{1}, 2, 40)
+	if r.X[0] < 0.99 || r.X[0] > 1 {
+		t.Fatalf("bound not respected/reached: %v", r.X)
+	}
+}
+
+func TestCoordinateDescentHandlesNaN(t *testing.T) {
+	obj := func(x []float64) float64 {
+		if x[0] > 0.5 {
+			return math.NaN()
+		}
+		d := x[0] - 0.2
+		return d * d
+	}
+	r := CoordinateDescent(obj, []float64{0}, []float64{-1}, []float64{1}, 2, 40)
+	if math.Abs(r.X[0]-0.2) > 1e-2 {
+		t.Fatalf("NaN-guarded optimum missed: %v", r.X)
+	}
+}

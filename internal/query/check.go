@@ -1,0 +1,213 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// Support classifies one parsed query against Verdict's supported class
+// (§2.2). Unsupported queries bypass inference and are merely forwarded to
+// the AQP engine; only supported queries enter the synopsis. Table 3's
+// generality numbers are fractions of queries with OK set.
+type Support struct {
+	OK bool
+	// HasAggregate reports whether any aggregate appears at all — Table 3's
+	// denominator counts only aggregate queries.
+	HasAggregate bool
+	// Reasons lists every violated condition (empty iff OK).
+	Reasons []string
+}
+
+func (s *Support) fail(format string, args ...any) {
+	s.OK = false
+	s.Reasons = append(s.Reasons, fmt.Sprintf(format, args...))
+}
+
+// Check runs the query type checker (§2.2) over a parsed statement. The
+// checker is purely syntactic: it needs no schema, matching how Verdict
+// inspects "each query, upon its arrival".
+func Check(stmt *sqlparse.SelectStmt) Support {
+	s := Support{OK: true}
+
+	if stmt.HasSubquery {
+		s.fail("nested query (derived table or subquery predicate)")
+	}
+
+	nAgg := 0
+	for _, item := range stmt.Items {
+		switch item.Agg {
+		case sqlparse.AggNone:
+			// Plain projections must be GROUP BY columns; checked below.
+		case sqlparse.AggMin, sqlparse.AggMax:
+			nAgg++
+			s.HasAggregate = true
+			s.fail("%s aggregate not supported by sampling", item.Agg)
+		default:
+			nAgg++
+			s.HasAggregate = true
+			if item.Distinct {
+				s.fail("DISTINCT aggregate")
+			}
+			if err := checkMeasureExpr(item.Expr, item.Agg); err != "" {
+				s.fail("%s", err)
+			}
+		}
+	}
+	if nAgg == 0 {
+		s.fail("no supported aggregate in select list")
+	}
+
+	// Every non-aggregate projection must be a plain column (a grouping
+	// column); arbitrary scalar projections are outside the class.
+	groupNames := map[string]bool{}
+	for _, g := range stmt.GroupBy {
+		groupNames[g.Name] = true
+	}
+	for _, item := range stmt.Items {
+		if item.Agg != sqlparse.AggNone {
+			continue
+		}
+		ref, ok := item.Expr.(*sqlparse.ColRef)
+		if !ok {
+			s.fail("non-column projection %s", item.Expr)
+			continue
+		}
+		if len(stmt.GroupBy) > 0 && !groupNames[ref.Name] {
+			s.fail("projected column %s not in GROUP BY", ref.Name)
+		}
+	}
+
+	if stmt.Where != nil {
+		checkPredicate(stmt.Where, &s, false)
+	}
+	// HAVING operates on the result set the AQP engine returns (§2.2 item
+	// 4), so aggregate comparisons there are fine; disjunctions and textual
+	// filters are still outside the class.
+	if stmt.Having != nil {
+		checkPredicate(stmt.Having, &s, true)
+	}
+	return s
+}
+
+// checkMeasureExpr validates an aggregate argument: COUNT takes *, while
+// SUM/AVG take arithmetic over columns and literals ("derived attributes").
+func checkMeasureExpr(e sqlparse.Expr, agg sqlparse.AggFunc) string {
+	if _, ok := e.(*sqlparse.Star); ok {
+		if agg == sqlparse.AggCount {
+			return ""
+		}
+		return fmt.Sprintf("%s(*) is not a valid aggregate", agg)
+	}
+	if agg == sqlparse.AggCount {
+		// COUNT(col) is NULL-sensitive; this engine has no NULLs, so it is
+		// equivalent to COUNT(*) and accepted.
+		_ = e
+	}
+	return checkArith(e)
+}
+
+func checkArith(e sqlparse.Expr) string {
+	switch v := e.(type) {
+	case *sqlparse.ColRef, *sqlparse.NumberLit:
+		return ""
+	case *sqlparse.BinaryExpr:
+		if msg := checkArith(v.Left); msg != "" {
+			return msg
+		}
+		return checkArith(v.Right)
+	case *sqlparse.StringLit:
+		return "string literal inside aggregate"
+	case *sqlparse.AggExpr:
+		return "nested aggregate"
+	case *sqlparse.Star:
+		return "* inside arithmetic"
+	default:
+		return fmt.Sprintf("unsupported expression %s", e)
+	}
+}
+
+// checkPredicate walks a predicate tree enforcing §2.2's selection rules:
+// conjunctions only, comparisons between a column and a constant, BETWEEN,
+// and IN over constants. having=true permits aggregate expressions on the
+// comparison's left side.
+func checkPredicate(p sqlparse.Predicate, s *Support, having bool) {
+	switch v := p.(type) {
+	case *sqlparse.And:
+		checkPredicate(v.Left, s, having)
+		checkPredicate(v.Right, s, having)
+	case *sqlparse.Or:
+		s.fail("disjunction in %s clause", clauseName(having))
+	case *sqlparse.Not:
+		s.fail("NOT predicate in %s clause", clauseName(having))
+	case *sqlparse.Like:
+		s.fail("textual filter (LIKE '%s')", v.Pattern)
+	case *sqlparse.Between:
+		if !isColumn(v.Arg) {
+			s.fail("BETWEEN over non-column %s", v.Arg)
+		}
+		if !isConstant(v.Lo) || !isConstant(v.Hi) {
+			s.fail("BETWEEN with non-constant bounds")
+		}
+	case *sqlparse.In:
+		if !isColumn(v.Arg) {
+			s.fail("IN over non-column %s", v.Arg)
+		}
+		for _, val := range v.Values {
+			if !isConstant(val) {
+				s.fail("IN list with non-constant %s", val)
+			}
+		}
+	case *sqlparse.Compare:
+		left, right := v.Left, v.Right
+		// Normalize constant-on-left comparisons.
+		if isConstant(left) && !isConstant(right) {
+			left, right = right, left
+		}
+		switch {
+		case having && isAggregate(left):
+			if !isConstant(right) {
+				s.fail("HAVING comparison with non-constant %s", right)
+			}
+		case isColumn(left):
+			if !isConstant(right) {
+				s.fail("column-to-column comparison %s", v)
+			}
+		case isConstant(left) && isConstant(right):
+			// Constant folding (also the placeholder the parser emits for
+			// IS NULL); harmless.
+		default:
+			s.fail("unsupported comparison %s in %s clause", v, clauseName(having))
+		}
+	default:
+		s.fail("unsupported predicate %s", p)
+	}
+}
+
+func clauseName(having bool) string {
+	if having {
+		return "HAVING"
+	}
+	return "WHERE"
+}
+
+func isColumn(e sqlparse.Expr) bool {
+	_, ok := e.(*sqlparse.ColRef)
+	return ok
+}
+
+func isConstant(e sqlparse.Expr) bool {
+	switch v := e.(type) {
+	case *sqlparse.NumberLit, *sqlparse.StringLit:
+		return true
+	case *sqlparse.BinaryExpr:
+		return isConstant(v.Left) && isConstant(v.Right)
+	default:
+		return false
+	}
+}
+
+func isAggregate(e sqlparse.Expr) bool {
+	_, ok := e.(*sqlparse.AggExpr)
+	return ok
+}

@@ -1,0 +1,392 @@
+// Package query turns parsed SQL into Verdict's internal representation:
+// query snippets (§2.1, Definition 1) whose selection predicates are
+// normalized into per-attribute regions — a numeric range per numeric
+// dimension attribute and a value set per categorical dimension attribute
+// (§4.1 and Appendix F.2). It also houses the supported-query type checker
+// (§2.2) that Table 3's generality measurement counts with, and the
+// decomposition of grouped multi-aggregate queries into scalar snippets
+// (Figure 3).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// ErrUnsupported is wrapped by binder errors for queries outside the
+// supported class.
+var ErrUnsupported = errors.New("query: unsupported")
+
+// NumRange is a (possibly open-ended) interval constraint on one numeric
+// dimension attribute. Lo/Hi default to the attribute domain when the query
+// places no constraint (§4.1). The open flags affect only exact row
+// matching; the kernel integrals are insensitive to boundary points.
+type NumRange struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// Contains reports whether v satisfies the range.
+func (r NumRange) Contains(v float64) bool {
+	if r.LoOpen {
+		if v <= r.Lo {
+			return false
+		}
+	} else if v < r.Lo {
+		return false
+	}
+	if r.HiOpen {
+		if v >= r.Hi {
+			return false
+		}
+	} else if v > r.Hi {
+		return false
+	}
+	return true
+}
+
+// Width returns max(Hi-Lo, 0).
+func (r NumRange) Width() float64 {
+	if r.Hi <= r.Lo {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// Empty reports whether no value can satisfy the range.
+func (r NumRange) Empty() bool {
+	if r.Lo > r.Hi {
+		return true
+	}
+	return r.Lo == r.Hi && (r.LoOpen || r.HiOpen)
+}
+
+// intersect tightens r with o.
+func (r NumRange) intersect(o NumRange) NumRange {
+	out := r
+	if o.Lo > out.Lo || (o.Lo == out.Lo && o.LoOpen) {
+		out.Lo, out.LoOpen = o.Lo, o.LoOpen
+	}
+	if o.Hi < out.Hi || (o.Hi == out.Hi && o.HiOpen) {
+		out.Hi, out.HiOpen = o.Hi, o.HiOpen
+	}
+	return out
+}
+
+// CatSet is a constraint on one categorical dimension attribute: the set of
+// admissible dictionary codes. A nil Codes slice means "unconstrained"
+// (conceptually the universal set, Appendix F.2).
+type CatSet struct {
+	Codes []int32 // sorted ascending; nil = universal
+}
+
+// Universal reports whether the set is unconstrained.
+func (c CatSet) Universal() bool { return c.Codes == nil }
+
+// Contains reports whether the code satisfies the set.
+func (c CatSet) Contains(code int32) bool {
+	if c.Codes == nil {
+		return true
+	}
+	i := sort.Search(len(c.Codes), func(i int) bool { return c.Codes[i] >= code })
+	return i < len(c.Codes) && c.Codes[i] == code
+}
+
+// Size returns the set cardinality given the attribute's dictionary size.
+func (c CatSet) Size(dictSize int) int {
+	if c.Codes == nil {
+		return dictSize
+	}
+	return len(c.Codes)
+}
+
+// OverlapCount returns |c ∩ o| given the dictionary size (Eq. 16's
+// |F_i,k ∩ F_j,k| factor).
+func (c CatSet) OverlapCount(o CatSet, dictSize int) int {
+	switch {
+	case c.Codes == nil && o.Codes == nil:
+		return dictSize
+	case c.Codes == nil:
+		return len(o.Codes)
+	case o.Codes == nil:
+		return len(c.Codes)
+	}
+	i, j, n := 0, 0, 0
+	for i < len(c.Codes) && j < len(o.Codes) {
+		switch {
+		case c.Codes[i] == o.Codes[j]:
+			n++
+			i++
+			j++
+		case c.Codes[i] < o.Codes[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// intersectCat intersects two categorical sets.
+func intersectCat(a, b CatSet) CatSet {
+	if a.Codes == nil {
+		return b
+	}
+	if b.Codes == nil {
+		return a
+	}
+	var out []int32
+	i, j := 0, 0
+	for i < len(a.Codes) && j < len(b.Codes) {
+		switch {
+		case a.Codes[i] == b.Codes[j]:
+			out = append(out, a.Codes[i])
+			i++
+			j++
+		case a.Codes[i] < b.Codes[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if out == nil {
+		out = []int32{} // non-nil: empty, not universal
+	}
+	return CatSet{Codes: out}
+}
+
+// Region is the selection region F_i of one snippet, bound to a table
+// schema: one entry per dimension attribute, in schema column order.
+// Non-dimension (measure) columns carry no constraint.
+type Region struct {
+	schema *storage.Schema
+	num    map[int]NumRange // keyed by column index; absent = full domain
+	cat    map[int]CatSet   // keyed by column index; absent = universal
+}
+
+// NewRegion returns an unconstrained region over the table's dimensions.
+func NewRegion(schema *storage.Schema) *Region {
+	return &Region{
+		schema: schema,
+		num:    make(map[int]NumRange),
+		cat:    make(map[int]CatSet),
+	}
+}
+
+// Clone deep-copies the region.
+func (g *Region) Clone() *Region {
+	out := NewRegion(g.schema)
+	for k, v := range g.num {
+		out.num[k] = v
+	}
+	for k, v := range g.cat {
+		out.cat[k] = v
+	}
+	return out
+}
+
+// ConstrainNum intersects column col with the given range.
+func (g *Region) ConstrainNum(col int, r NumRange) {
+	if cur, ok := g.num[col]; ok {
+		g.num[col] = cur.intersect(r)
+	} else {
+		g.num[col] = r
+	}
+}
+
+// ConstrainCat intersects column col with the given set.
+func (g *Region) ConstrainCat(col int, s CatSet) {
+	if cur, ok := g.cat[col]; ok {
+		g.cat[col] = intersectCat(cur, s)
+	} else {
+		g.cat[col] = s
+	}
+}
+
+// NumRangeOf returns the effective range of a numeric dimension column,
+// substituting the table's domain when unconstrained (§4.1: "We set the
+// range to (min(Ak), max(Ak)) if no constraint is specified").
+func (g *Region) NumRangeOf(col int, t *storage.Table) NumRange {
+	if r, ok := g.num[col]; ok {
+		return r
+	}
+	lo, hi := t.Domain(col)
+	return NumRange{Lo: lo, Hi: hi}
+}
+
+// CatSetOf returns the effective value set of a categorical column.
+func (g *Region) CatSetOf(col int) CatSet {
+	if s, ok := g.cat[col]; ok {
+		return s
+	}
+	return CatSet{}
+}
+
+// HasConstraint reports whether the query explicitly constrained col.
+func (g *Region) HasConstraint(col int) bool {
+	if _, ok := g.num[col]; ok {
+		return true
+	}
+	if _, ok := g.cat[col]; ok {
+		return true
+	}
+	return false
+}
+
+// ConstrainedCols returns the sorted column indices with constraints.
+func (g *Region) ConstrainedCols() []int {
+	var out []int
+	for k := range g.num {
+		out = append(out, k)
+	}
+	for k := range g.cat {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Matches reports whether table row r falls inside the region.
+func (g *Region) Matches(t *storage.Table, row int) bool {
+	for col, nr := range g.num {
+		if !nr.Contains(t.NumAt(row, col)) {
+			return false
+		}
+	}
+	for col, cs := range g.cat {
+		if !cs.Contains(t.CodesCol(col)[row]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the numeric hyper-rectangle volume |F_i| over the
+// *constrained* numeric dimensions only (Appendix F.3 normalizes FREQ
+// densities by this quantity); unconstrained dimensions use the full domain,
+// and dimensions with zero domain width contribute a factor of 1.
+func (g *Region) Volume(t *storage.Table) float64 {
+	v := 1.0
+	for _, col := range g.schema.DimensionCols() {
+		if g.schema.Col(col).Kind != storage.Numeric {
+			continue
+		}
+		w := g.NumRangeOf(col, t).Width()
+		if w > 0 {
+			v *= w
+		}
+	}
+	return v
+}
+
+// FracVolume returns the fraction of the full numeric-domain volume covered
+// by the region, times the fraction of categorical values admitted — a
+// dimensionless selectivity proxy used by generators and diagnostics.
+func (g *Region) FracVolume(t *storage.Table) float64 {
+	f := 1.0
+	for _, col := range g.schema.DimensionCols() {
+		def := g.schema.Col(col)
+		if def.Kind == storage.Numeric {
+			lo, hi := t.Domain(col)
+			if hi <= lo {
+				continue
+			}
+			f *= g.NumRangeOf(col, t).Width() / (hi - lo)
+		} else {
+			ds := t.DictOf(col).Size()
+			if ds == 0 {
+				continue
+			}
+			f *= float64(g.CatSetOf(col).Size(ds)) / float64(ds)
+		}
+	}
+	return f
+}
+
+// Key renders a canonical string identity for the region: constrained
+// columns in order with their ranges/sets. Used in snippet keys.
+func (g *Region) Key(t *storage.Table) string {
+	var sb strings.Builder
+	for _, col := range g.ConstrainedCols() {
+		def := g.schema.Col(col)
+		sb.WriteByte('|')
+		sb.WriteString(def.Name)
+		if def.Kind == storage.Numeric {
+			r := g.num[col]
+			lb, rb := "[", "]"
+			if r.LoOpen {
+				lb = "("
+			}
+			if r.HiOpen {
+				rb = ")"
+			}
+			fmt.Fprintf(&sb, ":%s%g,%g%s", lb, r.Lo, r.Hi, rb)
+		} else {
+			s := g.cat[col]
+			sb.WriteString(":{")
+			for i, c := range s.Codes {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(t.DictOf(col).Value(c))
+			}
+			sb.WriteString("}")
+		}
+	}
+	if sb.Len() == 0 {
+		return "|*"
+	}
+	return sb.String()
+}
+
+// NumConstraints returns a copy of the explicit numeric range constraints,
+// keyed by column index (serialization support).
+func (g *Region) NumConstraints() map[int]NumRange {
+	out := make(map[int]NumRange, len(g.num))
+	for k, v := range g.num {
+		out[k] = v
+	}
+	return out
+}
+
+// CatConstraints returns a copy of the explicit categorical constraints,
+// keyed by column index.
+func (g *Region) CatConstraints() map[int]CatSet {
+	out := make(map[int]CatSet, len(g.cat))
+	for k, v := range g.cat {
+		out[k] = CatSet{Codes: append([]int32(nil), v.Codes...)}
+	}
+	return out
+}
+
+// EmptyRegion reports whether the region is certainly empty (some numeric
+// range or categorical set admits nothing).
+func (g *Region) EmptyRegion() bool {
+	for _, r := range g.num {
+		if r.Empty() {
+			return true
+		}
+	}
+	for _, s := range g.cat {
+		if s.Codes != nil && len(s.Codes) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sanitizeRange guards against NaN bounds leaking in from generators.
+func sanitizeRange(r NumRange) NumRange {
+	if math.IsNaN(r.Lo) {
+		r.Lo = math.Inf(-1)
+	}
+	if math.IsNaN(r.Hi) {
+		r.Hi = math.Inf(1)
+	}
+	return r
+}

@@ -1,0 +1,316 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc enumerates aggregate functions the parser recognizes. Verdict
+// internally computes everything from AVG and FREQ (§2.3); SUM and COUNT are
+// rewritten onto those at execution time, while MIN/MAX are parsed so the
+// type checker can classify queries that use them as unsupported.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggNone AggFunc = iota
+	AggSum
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "NONE"
+	}
+}
+
+// Expr is an arithmetic expression over column references and literals —
+// the "derived attribute" arguments the paper allows inside aggregates
+// (e.g. revenue * discount).
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (c *ColRef) exprNode() {}
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+func (n *NumberLit) exprNode()      {}
+func (n *NumberLit) String() string { return trimFloat(n.Value) }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (s *StringLit) exprNode()      {}
+func (s *StringLit) String() string { return "'" + strings.ReplaceAll(s.Value, "'", "''") + "'" }
+
+// Star is the * argument of COUNT(*).
+type Star struct{}
+
+func (s *Star) exprNode()      {}
+func (s *Star) String() string { return "*" }
+
+// AggExpr is an aggregate call appearing inside an expression — HAVING
+// clauses compare aggregates (e.g. HAVING SUM(a3) > 100).
+type AggExpr struct {
+	Agg AggFunc
+	Arg Expr // Star for COUNT(*)
+}
+
+func (a *AggExpr) exprNode() {}
+func (a *AggExpr) String() string {
+	return a.Agg.String() + "(" + a.Arg.String() + ")"
+}
+
+// BinaryExpr is an arithmetic combination of two expressions.
+type BinaryExpr struct {
+	Op          string // + - * / %
+	Left, Right Expr
+}
+
+func (b *BinaryExpr) exprNode() {}
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// SelectItem is one projection: either a plain expression (a group column)
+// or an aggregate over an expression.
+type SelectItem struct {
+	Agg      AggFunc
+	Distinct bool // COUNT(DISTINCT ...) — unsupported, but detected
+	Expr     Expr // nil only for COUNT(*) (Expr = Star)
+	Alias    string
+}
+
+func (s SelectItem) String() string {
+	var body string
+	if s.Agg == AggNone {
+		body = s.Expr.String()
+	} else {
+		inner := s.Expr.String()
+		if s.Distinct {
+			inner = "DISTINCT " + inner
+		}
+		body = s.Agg.String() + "(" + inner + ")"
+	}
+	if s.Alias != "" {
+		body += " AS " + s.Alias
+	}
+	return body
+}
+
+// CompareOp enumerates predicate comparison operators.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CompareOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Predicate is a node of the WHERE/HAVING condition tree.
+type Predicate interface {
+	fmt.Stringer
+	predNode()
+}
+
+// Compare is <expr> <op> <expr>.
+type Compare struct {
+	Op          CompareOp
+	Left, Right Expr
+}
+
+func (c *Compare) predNode() {}
+func (c *Compare) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// Between is <expr> BETWEEN <lo> AND <hi>.
+type Between struct {
+	Arg    Expr
+	Lo, Hi Expr
+}
+
+func (b *Between) predNode() {}
+func (b *Between) String() string {
+	return b.Arg.String() + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// In is <expr> IN (v1, v2, ...).
+type In struct {
+	Arg    Expr
+	Values []Expr
+	Negate bool
+}
+
+func (i *In) predNode() {}
+func (i *In) String() string {
+	parts := make([]string, len(i.Values))
+	for k, v := range i.Values {
+		parts[k] = v.String()
+	}
+	op := " IN ("
+	if i.Negate {
+		op = " NOT IN ("
+	}
+	return i.Arg.String() + op + strings.Join(parts, ", ") + ")"
+}
+
+// Like is <expr> LIKE 'pattern' — detected so the checker can reject it.
+type Like struct {
+	Arg     Expr
+	Pattern string
+	Negate  bool
+}
+
+func (l *Like) predNode() {}
+func (l *Like) String() string {
+	op := " LIKE "
+	if l.Negate {
+		op = " NOT LIKE "
+	}
+	return l.Arg.String() + op + "'" + l.Pattern + "'"
+}
+
+// And is a conjunction.
+type And struct{ Left, Right Predicate }
+
+func (a *And) predNode() {}
+func (a *And) String() string {
+	return "(" + a.Left.String() + " AND " + a.Right.String() + ")"
+}
+
+// Or is a disjunction — parsed so the checker can classify the query as
+// unsupported (§2.2 excludes disjunctions).
+type Or struct{ Left, Right Predicate }
+
+func (o *Or) predNode() {}
+func (o *Or) String() string {
+	return "(" + o.Left.String() + " OR " + o.Right.String() + ")"
+}
+
+// Not is a negation.
+type Not struct{ Inner Predicate }
+
+func (n *Not) predNode()      {}
+func (n *Not) String() string { return "NOT (" + n.Inner.String() + ")" }
+
+// JoinClause is one JOIN ... ON a = b item.
+type JoinClause struct {
+	Table    string
+	Alias    string
+	LeftCol  *ColRef
+	RightCol *ColRef
+}
+
+// SelectStmt is the root of a parsed query.
+type SelectStmt struct {
+	Items   []SelectItem
+	Table   string
+	Alias   string
+	Joins   []JoinClause
+	Where   Predicate // nil if absent
+	GroupBy []*ColRef
+	Having  Predicate // nil if absent
+	OrderBy []*ColRef
+	Limit   int // -1 if absent
+
+	// HasSubquery is set when the FROM clause or a predicate contained a
+	// nested SELECT; the statement body is then only partially populated
+	// but the checker can still classify it.
+	HasSubquery bool
+}
+
+// String renders the statement back to SQL (canonical form, used by the
+// synopsis to key repeated queries).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.Table)
+	if s.Alias != "" {
+		sb.WriteString(" AS " + s.Alias)
+	}
+	for _, j := range s.Joins {
+		sb.WriteString(" JOIN " + j.Table)
+		if j.Alias != "" {
+			sb.WriteString(" AS " + j.Alias)
+		}
+		sb.WriteString(" ON " + j.LeftCol.String() + " = " + j.RightCol.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, g := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	return sb.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

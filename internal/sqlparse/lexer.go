@@ -1,0 +1,165 @@
+// Package sqlparse implements a lexer, AST and recursive-descent parser for
+// the class of analytical SQL the paper's Verdict engine supports (§2.2):
+// flat SELECT queries with SUM/COUNT/AVG aggregates (MIN/MAX are parsed but
+// flagged unsupported), foreign-key joins, conjunctive selections with
+// equality/inequality/BETWEEN/IN predicates, GROUP BY and HAVING. Features
+// outside the class — disjunctions, LIKE filters, subqueries — are parsed
+// far enough to be *detected and classified*, because the query type checker
+// (Table 3's generality measurement) must count them.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol // punctuation and operators: ( ) , * = != <> < <= > >= . ;
+)
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+// keywords recognized by the lexer (matched case-insensitively).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "LIKE": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"ON": true, "SUM": true, "COUNT": true, "AVG": true, "MIN": true,
+	"MAX": true, "DISTINCT": true, "ASC": true, "DESC": true, "IS": true,
+	"NULL": true, "EXISTS": true, "UNION": true, "ALL": true,
+}
+
+// LexError reports a lexical failure with its position.
+type LexError struct {
+	Pos int
+	Msg string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("sql lex error at %d: %s", e.Pos, e.Msg)
+}
+
+// Lex tokenizes the input.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				if unicode.IsDigit(rune(d)) {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &LexError{Pos: start, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokSymbol, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				return nil, &LexError{Pos: i, Msg: "unexpected '!'"}
+			}
+		case strings.ContainsRune("(),*=.;+-/%", rune(c)):
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		default:
+			return nil, &LexError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}

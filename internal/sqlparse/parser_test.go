@@ -1,0 +1,252 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return s
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT AVG(x) FROM t WHERE y >= 1.5e2 -- comment\n AND z = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "SELECT AVG ( x ) FROM t WHERE y >= 1.5e2 AND z = it's") {
+		t.Fatalf("unexpected tokens: %q", joined)
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Fatal("missing EOF token")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := Lex("SELECT a ! b"); err == nil {
+		t.Fatal("lone ! accepted")
+	}
+	if _, err := Lex("SELECT a @ b"); err == nil {
+		t.Fatal("@ accepted")
+	}
+}
+
+func TestParseSimpleAggregate(t *testing.T) {
+	s := mustParse(t, "SELECT AVG(revenue) FROM sales WHERE week > 5")
+	if len(s.Items) != 1 || s.Items[0].Agg != AggAvg {
+		t.Fatalf("items=%v", s.Items)
+	}
+	if s.Table != "sales" {
+		t.Fatalf("table=%q", s.Table)
+	}
+	c, ok := s.Where.(*Compare)
+	if !ok || c.Op != OpGt {
+		t.Fatalf("where=%v", s.Where)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM t")
+	if s.Items[0].Agg != AggCount {
+		t.Fatal("not COUNT")
+	}
+	if _, ok := s.Items[0].Expr.(*Star); !ok {
+		t.Fatal("not star arg")
+	}
+}
+
+func TestParseMultiAggregateGroupBy(t *testing.T) {
+	s := mustParse(t, `SELECT region, AVG(a2), SUM(a3) FROM r WHERE a2 > 10 GROUP BY region HAVING SUM(a3) > 100`)
+	if len(s.Items) != 3 {
+		t.Fatalf("items=%d", len(s.Items))
+	}
+	if s.Items[0].Agg != AggNone || s.Items[1].Agg != AggAvg || s.Items[2].Agg != AggSum {
+		t.Fatalf("aggs wrong: %v", s.Items)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Name != "region" {
+		t.Fatalf("groupby=%v", s.GroupBy)
+	}
+	if s.Having == nil {
+		t.Fatal("missing having")
+	}
+}
+
+func TestParseDerivedAttribute(t *testing.T) {
+	s := mustParse(t, "SELECT SUM(revenue * discount) FROM sales")
+	b, ok := s.Items[0].Expr.(*BinaryExpr)
+	if !ok || b.Op != "*" {
+		t.Fatalf("expr=%v", s.Items[0].Expr)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := mustParse(t, `SELECT SUM(l.price) FROM lineitem l JOIN orders o ON l.okey = o.okey JOIN customer AS c ON o.ckey = c.ckey WHERE c.segment = 'BUILDING'`)
+	if len(s.Joins) != 2 {
+		t.Fatalf("joins=%d", len(s.Joins))
+	}
+	if s.Alias != "l" || s.Joins[0].Alias != "o" || s.Joins[1].Alias != "c" {
+		t.Fatalf("aliases: %q %q %q", s.Alias, s.Joins[0].Alias, s.Joins[1].Alias)
+	}
+	if s.Joins[0].LeftCol.String() != "l.okey" || s.Joins[0].RightCol.String() != "o.okey" {
+		t.Fatal("join columns wrong")
+	}
+}
+
+func TestParseBetweenInLike(t *testing.T) {
+	s := mustParse(t, `SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x','y') AND c NOT IN (3) AND d LIKE '%Apple%'`)
+	and1, ok := s.Where.(*And)
+	if !ok {
+		t.Fatalf("where=%T", s.Where)
+	}
+	// Navigate to collect all leaf predicates.
+	var leaves []Predicate
+	var walk func(p Predicate)
+	walk = func(p Predicate) {
+		switch v := p.(type) {
+		case *And:
+			walk(v.Left)
+			walk(v.Right)
+		default:
+			leaves = append(leaves, p)
+		}
+	}
+	walk(and1)
+	if len(leaves) != 4 {
+		t.Fatalf("leaves=%d", len(leaves))
+	}
+	if _, ok := leaves[0].(*Between); !ok {
+		t.Fatalf("leaf0=%T", leaves[0])
+	}
+	in1, ok := leaves[1].(*In)
+	if !ok || in1.Negate || len(in1.Values) != 2 {
+		t.Fatalf("leaf1=%v", leaves[1])
+	}
+	in2, ok := leaves[2].(*In)
+	if !ok || !in2.Negate {
+		t.Fatalf("leaf2=%v", leaves[2])
+	}
+	lk, ok := leaves[3].(*Like)
+	if !ok || lk.Pattern != "%Apple%" {
+		t.Fatalf("leaf3=%v", leaves[3])
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2")
+	if _, ok := s.Where.(*Or); !ok {
+		t.Fatalf("where=%T", s.Where)
+	}
+}
+
+func TestParseSubqueryDetection(t *testing.T) {
+	cases := []string{
+		"SELECT COUNT(*) FROM (SELECT a FROM t) x",
+		"SELECT COUNT(*) FROM t WHERE a IN (SELECT a FROM u)",
+		"SELECT COUNT(*) FROM t WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT COUNT(*) FROM t WHERE a > (SELECT AVG(a) FROM t)",
+	}
+	for _, sql := range cases {
+		s := mustParse(t, sql)
+		if !s.HasSubquery {
+			t.Errorf("subquery not detected in %q", sql)
+		}
+	}
+	if s := mustParse(t, "SELECT COUNT(*) FROM t WHERE (a = 1 AND b = 2)"); s.HasSubquery {
+		t.Error("false subquery in parenthesized predicate")
+	}
+}
+
+func TestParseOrderLimitDistinct(t *testing.T) {
+	s := mustParse(t, "SELECT region, COUNT(DISTINCT user) FROM t GROUP BY region ORDER BY region DESC LIMIT 10")
+	if !s.Items[1].Distinct {
+		t.Fatal("DISTINCT not flagged")
+	}
+	if len(s.OrderBy) != 1 || s.Limit != 10 {
+		t.Fatalf("order/limit: %v %d", s.OrderBy, s.Limit)
+	}
+}
+
+func TestParseMinMax(t *testing.T) {
+	s := mustParse(t, "SELECT MIN(a), MAX(b) FROM t")
+	if s.Items[0].Agg != AggMin || s.Items[1].Agg != AggMax {
+		t.Fatalf("aggs=%v", s.Items)
+	}
+}
+
+func TestParseNegativeNumberAndArith(t *testing.T) {
+	s := mustParse(t, "SELECT AVG(a + b * 2 - -3) FROM t WHERE x <= -1.5")
+	cmp := s.Where.(*Compare)
+	n, ok := cmp.Right.(*NumberLit)
+	if !ok || n.Value != -1.5 {
+		t.Fatalf("rhs=%v", cmp.Right)
+	}
+	if s.Items[0].Expr.String() != "((a + (b * 2)) - -3)" {
+		t.Fatalf("expr=%v", s.Items[0].Expr.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a >",
+		"SELECT a FROM t GROUP",
+		"SELECT AVG( FROM t",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t trailing garbage (",
+		"SELECT a FROM t WHERE a NOT 5",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// String() output must re-parse to the same canonical string — the
+	// synopsis uses it as a cache key.
+	queries := []string{
+		"SELECT AVG(revenue) FROM sales WHERE week > 5",
+		"SELECT region, SUM(a) FROM t WHERE b BETWEEN 1 AND 2 GROUP BY region",
+		"SELECT COUNT(*) FROM t WHERE a IN ('x', 'y') AND b = 3",
+		"SELECT SUM(price * qty) FROM t HAVING SUM(price * qty) > 10",
+	}
+	for _, q := range queries {
+		s1 := mustParse(t, q)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round-trip changed:\n  %s\n  %s", s1.String(), s2.String())
+		}
+	}
+}
+
+func TestParseSemicolon(t *testing.T) {
+	mustParse(t, "SELECT COUNT(*) FROM t;")
+}
+
+func TestParseIsNull(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM t WHERE a IS NOT NULL")
+	if s.Where == nil {
+		t.Fatal("nil where")
+	}
+}

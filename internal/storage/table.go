@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table is an immutable-schema, append-only columnar relation. Numeric
+// columns store float64; categorical columns store dictionary codes. Tables
+// are the unit the AQP engine samples and scans.
+type Table struct {
+	name   string
+	schema *Schema
+	rows   int
+
+	numeric [][]float64 // per-column values; nil for categorical columns
+	codes   [][]int32   // per-column codes; nil for numeric columns
+	dicts   []*Dict     // per-column dictionaries; nil for numeric columns
+
+	// Observed (or schema-declared) numeric domains, tracked per table so
+	// that sibling tables sharing a Schema do not clobber each other.
+	mins, maxs []float64
+	domainSet  []bool
+}
+
+// Dict is a string dictionary for one categorical column.
+type Dict struct {
+	byCode []string
+	byName map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]int32)}
+}
+
+// Code interns a value and returns its code.
+func (d *Dict) Code(v string) int32 {
+	if c, ok := d.byName[v]; ok {
+		return c
+	}
+	c := int32(len(d.byCode))
+	d.byCode = append(d.byCode, v)
+	d.byName[v] = c
+	return c
+}
+
+// LookupCode returns the code for v without interning.
+func (d *Dict) LookupCode(v string) (int32, bool) {
+	c, ok := d.byName[v]
+	return c, ok
+}
+
+// Value returns the string for a code.
+func (d *Dict) Value(c int32) string { return d.byCode[c] }
+
+// Size returns the number of distinct values.
+func (d *Dict) Size() int { return len(d.byCode) }
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table {
+	t := &Table{
+		name:      name,
+		schema:    schema,
+		numeric:   make([][]float64, schema.Len()),
+		codes:     make([][]int32, schema.Len()),
+		dicts:     make([]*Dict, schema.Len()),
+		mins:      make([]float64, schema.Len()),
+		maxs:      make([]float64, schema.Len()),
+		domainSet: make([]bool, schema.Len()),
+	}
+	for i := 0; i < schema.Len(); i++ {
+		def := schema.Col(i)
+		if def.Kind == Categorical {
+			t.dicts[i] = NewDict()
+		} else if def.Min < def.Max {
+			t.mins[i], t.maxs[i] = def.Min, def.Max
+			t.domainSet[i] = true
+		}
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Rows returns the row count (the paper's table cardinality |r|).
+func (t *Table) Rows() int { return t.rows }
+
+// Value is one cell for AppendRow: exactly one of Num/Str is used,
+// according to the column kind.
+type Value struct {
+	Num float64
+	Str string
+}
+
+// Num returns a numeric cell value.
+func Num(v float64) Value { return Value{Num: v} }
+
+// Str returns a categorical cell value.
+func Str(v string) Value { return Value{Str: v} }
+
+// AppendRow appends one row; vals must be in schema order.
+func (t *Table) AppendRow(vals []Value) error {
+	if len(vals) != t.schema.Len() {
+		return fmt.Errorf("storage: row width %d, schema width %d", len(vals), t.schema.Len())
+	}
+	for i, v := range vals {
+		switch t.schema.Col(i).Kind {
+		case Numeric:
+			t.numeric[i] = append(t.numeric[i], v.Num)
+			t.observe(i, v.Num)
+		case Categorical:
+			t.codes[i] = append(t.codes[i], t.dicts[i].Code(v.Str))
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// NumericCol returns the backing slice of a numeric column. Callers must
+// not mutate it; exposure avoids copying in the scan-heavy AQP paths.
+func (t *Table) NumericCol(i int) []float64 {
+	if t.schema.Col(i).Kind != Numeric {
+		panic(ErrTypeMismatch)
+	}
+	return t.numeric[i]
+}
+
+// CodesCol returns the backing code slice of a categorical column.
+func (t *Table) CodesCol(i int) []int32 {
+	if t.schema.Col(i).Kind != Categorical {
+		panic(ErrTypeMismatch)
+	}
+	return t.codes[i]
+}
+
+// DictOf returns the dictionary of a categorical column.
+func (t *Table) DictOf(i int) *Dict {
+	if t.schema.Col(i).Kind != Categorical {
+		panic(ErrTypeMismatch)
+	}
+	return t.dicts[i]
+}
+
+// NumAt returns the numeric value at (row, col).
+func (t *Table) NumAt(row, col int) float64 { return t.numeric[col][row] }
+
+// StrAt returns the categorical string at (row, col).
+func (t *Table) StrAt(row, col int) string {
+	return t.dicts[col].Value(t.codes[col][row])
+}
+
+// observe widens column i's tracked domain to include v.
+func (t *Table) observe(i int, v float64) {
+	if !t.domainSet[i] {
+		t.mins[i], t.maxs[i] = v, v
+		t.domainSet[i] = true
+		return
+	}
+	if v < t.mins[i] {
+		t.mins[i] = v
+	}
+	if v > t.maxs[i] {
+		t.maxs[i] = v
+	}
+}
+
+// Domain returns the [min,max] domain of a numeric column — the declared
+// schema domain if one was given, otherwise the observed extent; Verdict
+// uses it in place of missing range constraints (§4.1).
+func (t *Table) Domain(col int) (lo, hi float64) {
+	if t.schema.Col(col).Kind != Numeric {
+		panic(ErrTypeMismatch)
+	}
+	if !t.domainSet[col] {
+		return 0, 0
+	}
+	return t.mins[col], t.maxs[col]
+}
+
+// SelectRows materializes a new table containing the given row indices, in
+// order. It is how samples and filtered views are built.
+func (t *Table) SelectRows(name string, idx []int) *Table {
+	out := NewTable(name, t.schema)
+	for i := range out.numeric {
+		if t.schema.Col(i).Kind == Numeric {
+			col := make([]float64, 0, len(idx))
+			src := t.numeric[i]
+			for _, r := range idx {
+				col = append(col, src[r])
+			}
+			out.numeric[i] = col
+		} else {
+			// Share the dictionary: codes remain valid and equality across
+			// the base table and its samples stays cheap.
+			out.dicts[i] = t.dicts[i]
+			col := make([]int32, 0, len(idx))
+			src := t.codes[i]
+			for _, r := range idx {
+				col = append(col, src[r])
+			}
+			out.codes[i] = col
+		}
+	}
+	out.rows = len(idx)
+	// The sample inherits the base relation's domains: Verdict's
+	// range-to-domain substitution must refer to the full relation, not the
+	// sample extent.
+	copy(out.mins, t.mins)
+	copy(out.maxs, t.maxs)
+	copy(out.domainSet, t.domainSet)
+	return out
+}
+
+// AppendTable appends all rows of other (same schema object required); it
+// implements Appendix D's data-append scenario.
+func (t *Table) AppendTable(other *Table) error {
+	if other.schema != t.schema {
+		return fmt.Errorf("storage: AppendTable requires the identical schema object")
+	}
+	for i := 0; i < t.schema.Len(); i++ {
+		if t.schema.Col(i).Kind == Numeric {
+			t.numeric[i] = append(t.numeric[i], other.numeric[i]...)
+		} else {
+			// Dictionaries are shared via the schema-mediated convention:
+			// both tables were built against the same dict only if the
+			// codes agree. Re-encode defensively when dicts differ.
+			if other.dicts[i] == t.dicts[i] {
+				t.codes[i] = append(t.codes[i], other.codes[i]...)
+			} else {
+				for _, c := range other.codes[i] {
+					t.codes[i] = append(t.codes[i], t.dicts[i].Code(other.dicts[i].Value(c)))
+				}
+			}
+		}
+	}
+	// Widen numeric domains with the appended values.
+	for i := 0; i < t.schema.Len(); i++ {
+		if t.schema.Col(i).Kind != Numeric {
+			continue
+		}
+		for _, v := range other.numeric[i] {
+			t.observe(i, v)
+		}
+	}
+	t.rows += other.rows
+	return nil
+}
+
+// ColumnStats summarizes one numeric column; generators and the UCI-style
+// inter-tuple covariance study use it.
+type ColumnStats struct {
+	Count    int
+	Mean     float64
+	Variance float64
+	Min, Max float64
+}
+
+// Stats computes streaming statistics of a numeric column.
+func (t *Table) Stats(col int) ColumnStats {
+	vals := t.NumericCol(col)
+	st := ColumnStats{Count: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(vals) == 0 {
+		return ColumnStats{}
+	}
+	mean, m2 := 0.0, 0.0
+	for i, v := range vals {
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = mean
+	st.Variance = m2 / float64(len(vals))
+	return st
+}

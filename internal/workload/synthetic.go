@@ -1,0 +1,429 @@
+// Package workload generates the datasets and query traces the paper's
+// evaluation section runs on: the controlled synthetic tables and query
+// mixes of §8.6 (workload diversity, data distributions, learning
+// behaviour), a TPC-H-like schema with the 22 query templates classified
+// exactly as Table 3 does, a Customer1-like timestamped trace calibrated to
+// the paper's published statistics, and the UCI-style datasets Appendix E
+// analyzes for inter-tuple covariance prevalence. Everything is
+// deterministic given a seed; see DESIGN.md §2 for the documented
+// substitutions of proprietary inputs.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// Distribution selects the marginal distribution of generated attribute
+// values (§8.6's uniform / Gaussian / skewed sweep).
+type Distribution uint8
+
+// Supported distributions.
+const (
+	Uniform Distribution = iota
+	Gaussian
+	Skewed // log-normal
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	default:
+		return "skewed"
+	}
+}
+
+// SyntheticSpec configures the §8.6 table generator.
+type SyntheticSpec struct {
+	// Rows is the table cardinality (the paper uses 5M; tests use less).
+	Rows int
+	// NumericCols and CategoricalCols partition the dimension columns
+	// (the paper: 50 columns, 10% categorical → 45 numeric, 5 categorical).
+	NumericCols, CategoricalCols int
+	// CategoricalCard is the domain size of categorical columns (paper:
+	// integers 0..100).
+	CategoricalCard int
+	// Dist selects the numeric dimension marginal distribution.
+	Dist Distribution
+	// SmoothEll is the planted correlation length-scale of the measure's
+	// dependence on each numeric dimension (domain is [0,10] as in §8.6).
+	SmoothEll float64
+	// NoiseStd is the i.i.d. noise on the measure.
+	NoiseStd float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultSyntheticSpec mirrors §8.6 at reduced scale.
+func DefaultSyntheticSpec() SyntheticSpec {
+	return SyntheticSpec{
+		Rows:            100000,
+		NumericCols:     45,
+		CategoricalCols: 5,
+		CategoricalCard: 100,
+		Dist:            Uniform,
+		SmoothEll:       3.0,
+		NoiseStd:        0.5,
+		Seed:            1,
+	}
+}
+
+// Synthetic bundles a generated table with the ground-truth structure that
+// produced it, so experiments can relate learned parameters to planted ones.
+type Synthetic struct {
+	Table *storage.Table
+	Spec  SyntheticSpec
+	// Fields holds the per-numeric-column smooth components of the measure.
+	Fields []*randx.SmoothFieldAt
+	// Weights holds each component's weight.
+	Weights []float64
+}
+
+// NumericColName / CategoricalColName give the generated column names.
+func NumericColName(i int) string     { return "n" + strconv.Itoa(i) }
+func CategoricalColName(i int) string { return "c" + strconv.Itoa(i) }
+
+// MeasureColName is the generated measure column.
+const MeasureColName = "m"
+
+// domainLo/domainHi bound numeric dimension values (§8.6: reals in [0,10]).
+const domainLo, domainHi = 0.0, 10.0
+
+// GenerateSynthetic builds the §8.6 table: dimension columns drawn from the
+// chosen distribution, one measure column equal to a weighted sum of smooth
+// functions of the first few numeric dimensions plus noise. The smooth
+// dependence is what gives the dataset non-zero inter-tuple covariance for
+// Verdict to exploit; its length-scale is known, which the parameter-
+// learning experiments (Figure 7) rely on.
+func GenerateSynthetic(spec SyntheticSpec) (*Synthetic, error) {
+	if spec.Rows <= 0 || spec.NumericCols < 1 {
+		return nil, fmt.Errorf("workload: bad synthetic spec %+v", spec)
+	}
+	cols := make([]storage.ColumnDef, 0, spec.NumericCols+spec.CategoricalCols+1)
+	for i := 0; i < spec.NumericCols; i++ {
+		cols = append(cols, storage.ColumnDef{
+			Name: NumericColName(i), Kind: storage.Numeric, Role: storage.Dimension,
+			Min: domainLo, Max: domainHi,
+		})
+	}
+	for i := 0; i < spec.CategoricalCols; i++ {
+		cols = append(cols, storage.ColumnDef{
+			Name: CategoricalColName(i), Kind: storage.Categorical, Role: storage.Dimension,
+		})
+	}
+	cols = append(cols, storage.ColumnDef{Name: MeasureColName, Kind: storage.Numeric, Role: storage.Measure})
+	schema, err := storage.NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	t := storage.NewTable("synthetic", schema)
+
+	rng := randx.New(spec.Seed)
+	// The measure depends smoothly on the first dependCols numeric dims.
+	dependCols := spec.NumericCols
+	if dependCols > 8 {
+		dependCols = 8
+	}
+	fields := make([]*randx.SmoothFieldAt, dependCols)
+	weights := make([]float64, dependCols)
+	for i := range fields {
+		fields[i] = rng.Fork(int64(1000+i)).NewSmoothField(spec.SmoothEll, 1.0, 0)
+		weights[i] = 1.0 / float64(dependCols)
+	}
+
+	valRng := rng.Fork(1)
+	catRng := rng.Fork(2)
+	noiseRng := rng.Fork(3)
+	row := make([]storage.Value, len(cols))
+	for r := 0; r < spec.Rows; r++ {
+		measure := 5.0
+		for i := 0; i < spec.NumericCols; i++ {
+			v := drawDim(valRng, spec.Dist)
+			row[i] = storage.Num(v)
+			if i < dependCols {
+				measure += weights[i] * fields[i].At(v)
+			}
+		}
+		for i := 0; i < spec.CategoricalCols; i++ {
+			row[spec.NumericCols+i] = storage.Str(strconv.Itoa(catRng.Intn(spec.CategoricalCard)))
+		}
+		measure += noiseRng.Normal(0, spec.NoiseStd)
+		row[len(cols)-1] = storage.Num(measure)
+		if err := t.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return &Synthetic{Table: t, Spec: spec, Fields: fields, Weights: weights}, nil
+}
+
+// drawDim samples one dimension value in [0,10] under the distribution.
+func drawDim(rng *randx.Source, d Distribution) float64 {
+	switch d {
+	case Gaussian:
+		v := rng.Normal(5, 1.7)
+		if v < domainLo {
+			v = domainLo
+		}
+		if v > domainHi {
+			v = domainHi
+		}
+		return v
+	case Skewed:
+		v := rng.LogNormal(0.8, 0.8)
+		if v > domainHi {
+			v = domainHi
+		}
+		return v
+	default:
+		return rng.Uniform(domainLo, domainHi)
+	}
+}
+
+// QuerySpec configures the §8.6 query generator.
+type QuerySpec struct {
+	// FreqColRatio is the fraction of columns that are "frequently
+	// accessed" (the x-axis of Figure 6(a): 4–40%).
+	FreqColRatio float64
+	// Decay is the geometric decay of the remaining columns' access
+	// probability (paper: halving → 0.5).
+	Decay float64
+	// MaxPreds bounds predicates per query (paper: most Customer1 queries
+	// have <5 distinct selection predicates).
+	MaxPreds int
+	// AvgSelectivity is the expected fraction of a column's values covered
+	// by one range predicate. Ranges are quantile-based, which keeps query
+	// hardness comparable across data distributions (the point of §8.6's
+	// distribution sweep is the model, not accidental selectivity shifts).
+	AvgSelectivity float64
+	// CountRatio is the fraction of COUNT(*) queries; the rest are AVG(m).
+	CountRatio float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// DefaultQuerySpec mirrors §8.6 with Figure 6(a)'s middle setting.
+func DefaultQuerySpec() QuerySpec {
+	return QuerySpec{
+		FreqColRatio:   0.2,
+		Decay:          0.5,
+		MaxPreds:       4,
+		AvgSelectivity: 0.2,
+		CountRatio:     0.3,
+		Seed:           1,
+	}
+}
+
+// SyntheticQueries generates n SQL queries over a synthetic table following
+// the power-law column-access pattern of §8.6.
+func SyntheticQueries(syn *Synthetic, spec QuerySpec, n int) []string {
+	rng := randx.New(spec.Seed)
+	spec = normalizeQuerySpec(spec)
+	totalCols := syn.Spec.NumericCols + syn.Spec.CategoricalCols
+	head := int(float64(totalCols) * spec.FreqColRatio)
+	if head < 1 {
+		head = 1
+	}
+	// Sorted copies of numeric columns, built lazily: quantile-based range
+	// predicates need them.
+	sorted := make([][]float64, syn.Spec.NumericCols)
+	sortedCol := func(col int) []float64 {
+		if sorted[col] == nil {
+			src := syn.Table.NumericCol(col)
+			cp := append([]float64(nil), src...)
+			sortFloats(cp)
+			sorted[col] = cp
+		}
+		return sorted[col]
+	}
+	out := make([]string, 0, n)
+	for q := 0; q < n; q++ {
+		nPreds := 1 + rng.Intn(spec.MaxPreds)
+		used := map[int]bool{}
+		var preds []string
+		for len(preds) < nPreds {
+			col := rng.HeadTailIndex(totalCols, head, spec.Decay)
+			if used[col] {
+				continue
+			}
+			used[col] = true
+			if col < syn.Spec.NumericCols {
+				// Quantile-based range: cover a target fraction of the
+				// column's values regardless of its marginal distribution.
+				sel := rng.Exponential(1 / spec.AvgSelectivity)
+				if sel < 0.03 {
+					sel = 0.03
+				}
+				if sel > 0.4 {
+					sel = 0.4
+				}
+				vals := sortedCol(col)
+				start := rng.Uniform(0, 1-sel)
+				loIdx := int(start * float64(len(vals)-1))
+				hiIdx := int((start + sel) * float64(len(vals)-1))
+				preds = append(preds, fmt.Sprintf("%s BETWEEN %.3f AND %.3f",
+					NumericColName(col), vals[loIdx], vals[hiIdx]))
+			} else {
+				cat := col - syn.Spec.NumericCols
+				k := 1 + rng.Intn(3)
+				vals := make([]string, 0, k)
+				seen := map[int]bool{}
+				for len(vals) < k {
+					v := rng.Intn(syn.Spec.CategoricalCard)
+					if seen[v] {
+						continue
+					}
+					seen[v] = true
+					vals = append(vals, "'"+strconv.Itoa(v)+"'")
+				}
+				preds = append(preds, fmt.Sprintf("%s IN (%s)",
+					CategoricalColName(cat), strings.Join(vals, ", ")))
+			}
+		}
+		agg := "AVG(" + MeasureColName + ")"
+		if rng.Bool(spec.CountRatio) {
+			agg = "COUNT(*)"
+		}
+		out = append(out, fmt.Sprintf("SELECT %s FROM synthetic WHERE %s",
+			agg, strings.Join(preds, " AND ")))
+	}
+	return out
+}
+
+func normalizeQuerySpec(s QuerySpec) QuerySpec {
+	if s.Decay <= 0 || s.Decay >= 1 {
+		s.Decay = 0.5
+	}
+	if s.MaxPreds <= 0 {
+		s.MaxPreds = 4
+	}
+	if s.AvgSelectivity <= 0 {
+		s.AvgSelectivity = 0.2
+	}
+	if s.FreqColRatio <= 0 {
+		s.FreqColRatio = 0.2
+	}
+	return s
+}
+
+// sortFloats is a local ascending sort (keeps the package stdlib-lean).
+func sortFloats(xs []float64) {
+	// Heapsort: in-place, O(n log n) worst case, no allocation.
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(xs, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		xs[0], xs[end] = xs[end], xs[0]
+		siftDown(xs, 0, end)
+	}
+}
+
+func siftDown(xs []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && xs[child+1] > xs[child] {
+			child++
+		}
+		if xs[root] >= xs[child] {
+			return
+		}
+		xs[root], xs[child] = xs[child], xs[root]
+		root = child
+	}
+}
+
+// Planted1DSpec builds a table whose measure is exactly one smooth field of
+// a single dimension — the setting of the parameter-learning accuracy
+// (Figure 7) and model-validation (Figure 9) experiments, where the true
+// correlation parameters must be known.
+type Planted1DSpec struct {
+	Rows     int
+	Ell      float64 // true correlation parameter (paper kernel convention)
+	Sigma2   float64 // field variance
+	Mean     float64 // field mean level
+	NoiseStd float64
+	Domain   float64 // dimension domain [0, Domain]
+	Seed     int64
+}
+
+// GeneratePlanted1D builds the planted-parameter table; the dimension is
+// "x", the measure "y".
+func GeneratePlanted1D(spec Planted1DSpec) (*storage.Table, *randx.SmoothFieldAt, error) {
+	if spec.Rows <= 0 || spec.Ell <= 0 || spec.Domain <= 0 {
+		return nil, nil, fmt.Errorf("workload: bad planted spec %+v", spec)
+	}
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "x", Kind: storage.Numeric, Role: storage.Dimension, Min: 0, Max: spec.Domain},
+		{Name: "y", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	t := storage.NewTable("planted", schema)
+	rng := randx.New(spec.Seed)
+	field := rng.NewSmoothField(spec.Ell, spec.Sigma2, spec.Mean)
+	for r := 0; r < spec.Rows; r++ {
+		x := rng.Uniform(0, spec.Domain)
+		y := field.At(x) + rng.Normal(0, spec.NoiseStd)
+		if err := t.AppendRow([]storage.Value{storage.Num(x), storage.Num(y)}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, field, nil
+}
+
+// AppendedTableSpec drives the Appendix D experiment: appended tuples whose
+// attribute values "gradually diverge" from the original table.
+type AppendedTableSpec struct {
+	Rows int
+	// DriftMean shifts the appended measure distribution uniformly.
+	DriftMean float64
+	// DriftSpread is the standard deviation of a *region-dependent* smooth
+	// drift component over the dimension — the part that makes Lemma 3's
+	// η² matter (a purely uniform shift is fully absorbed by μ_k).
+	DriftSpread float64
+	// DriftEll is the region-drift length-scale (default 20).
+	DriftEll float64
+	// DriftStd widens the per-tuple noise.
+	DriftStd float64
+	Seed     int64
+}
+
+// GenerateAppended builds a batch of appended tuples compatible with a
+// Planted1D table's schema, drifted per the spec.
+func GenerateAppended(base *storage.Table, field *randx.SmoothFieldAt, spec AppendedTableSpec) (*storage.Table, error) {
+	schema := base.Schema()
+	t := storage.NewTable("appended", schema)
+	rng := randx.New(spec.Seed)
+	xcol, ok := schema.Lookup("x")
+	if !ok {
+		return nil, fmt.Errorf("workload: appended spec requires planted schema")
+	}
+	ell := spec.DriftEll
+	if ell <= 0 {
+		ell = 20
+	}
+	var regionDrift *randx.SmoothFieldAt
+	if spec.DriftSpread > 0 {
+		regionDrift = rng.NewSmoothField(ell, spec.DriftSpread*spec.DriftSpread, 0)
+	}
+	lo, hi := base.Domain(xcol)
+	for r := 0; r < spec.Rows; r++ {
+		x := rng.Uniform(lo, hi)
+		y := field.At(x) + spec.DriftMean + rng.Normal(0, 1+spec.DriftStd)
+		if regionDrift != nil {
+			y += regionDrift.At(x)
+		}
+		if err := t.AppendRow([]storage.Value{storage.Num(x), storage.Num(y)}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

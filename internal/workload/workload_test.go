@@ -1,0 +1,397 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/randx"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+func TestGenerateSynthetic(t *testing.T) {
+	spec := DefaultSyntheticSpec()
+	spec.Rows = 2000
+	spec.NumericCols = 10
+	spec.CategoricalCols = 2
+	syn, err := GenerateSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := syn.Table
+	if tb.Rows() != 2000 {
+		t.Fatalf("rows=%d", tb.Rows())
+	}
+	if tb.Schema().Len() != 13 {
+		t.Fatalf("cols=%d", tb.Schema().Len())
+	}
+	// Dimension values within [0,10].
+	for _, col := range []int{0, 5, 9} {
+		st := tb.Stats(col)
+		if st.Min < 0 || st.Max > 10 {
+			t.Fatalf("col %d out of domain: %+v", col, st)
+		}
+	}
+	// The measure must correlate with its first driver dimension: compare
+	// averages over two halves of the dimension's domain against the
+	// planted field.
+	mcol, _ := tb.Schema().Lookup(MeasureColName)
+	if tb.Schema().Col(mcol).Role != storage.Measure {
+		t.Fatal("measure role wrong")
+	}
+	if _, err := GenerateSynthetic(SyntheticSpec{}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestSyntheticDistributions(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Gaussian, Skewed} {
+		spec := DefaultSyntheticSpec()
+		spec.Rows = 5000
+		spec.NumericCols = 3
+		spec.CategoricalCols = 0
+		spec.Dist = d
+		syn, err := GenerateSynthetic(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := syn.Table.Stats(0)
+		switch d {
+		case Uniform:
+			if math.Abs(st.Mean-5) > 0.3 {
+				t.Fatalf("uniform mean=%v", st.Mean)
+			}
+		case Gaussian:
+			if math.Abs(st.Mean-5) > 0.3 || st.Variance > 4 {
+				t.Fatalf("gaussian stats=%+v", st)
+			}
+		case Skewed:
+			// Log-normal: mean above median.
+			if st.Mean < 2 || st.Mean > 5 {
+				t.Fatalf("skewed mean=%v", st.Mean)
+			}
+		}
+	}
+}
+
+func TestSyntheticQueriesParseAndClassify(t *testing.T) {
+	spec := DefaultSyntheticSpec()
+	spec.Rows = 500
+	syn, err := GenerateSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := SyntheticQueries(syn, DefaultQuerySpec(), 200)
+	if len(qs) != 200 {
+		t.Fatalf("queries=%d", len(qs))
+	}
+	for _, sql := range qs {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", sql, err)
+		}
+		sup := query.Check(stmt)
+		if !sup.OK {
+			t.Fatalf("generated query unsupported: %q: %v", sql, sup.Reasons)
+		}
+		// Predicates must bind to regions on the actual table.
+		if _, err := query.BindRegion(stmt.Where, syn.Table); err != nil {
+			t.Fatalf("bind failed for %q: %v", sql, err)
+		}
+	}
+}
+
+func TestSyntheticQueryColumnAccessBias(t *testing.T) {
+	spec := DefaultSyntheticSpec()
+	spec.Rows = 100
+	syn, err := GenerateSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qspec := DefaultQuerySpec()
+	qspec.FreqColRatio = 0.1 // first 5 of 50 columns are hot
+	qs := SyntheticQueries(syn, qspec, 400)
+	hot, cold := 0, 0
+	for _, sql := range qs {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := query.BindRegion(stmt.Where, syn.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range g.ConstrainedCols() {
+			if col < 5 {
+				hot++
+			} else {
+				cold++
+			}
+		}
+	}
+	if hot <= cold {
+		t.Fatalf("power-law access not biased: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestGeneratePlanted1D(t *testing.T) {
+	tb, field, err := GeneratePlanted1D(Planted1DSpec{
+		Rows: 3000, Ell: 15, Sigma2: 4, NoiseStd: 0.1, Domain: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3000 {
+		t.Fatalf("rows=%d", tb.Rows())
+	}
+	// The stored measure must track the field closely (small noise).
+	xcol, _ := tb.Schema().Lookup("x")
+	ycol, _ := tb.Schema().Lookup("y")
+	var maxDiff float64
+	for r := 0; r < 100; r++ {
+		d := math.Abs(tb.NumAt(r, ycol) - field.At(tb.NumAt(r, xcol)))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.6 {
+		t.Fatalf("measure deviates from field: %v", maxDiff)
+	}
+	if _, _, err := GeneratePlanted1D(Planted1DSpec{}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestGenerateAppendedDrifts(t *testing.T) {
+	tb, field, err := GeneratePlanted1D(Planted1DSpec{
+		Rows: 2000, Ell: 15, Sigma2: 4, NoiseStd: 0.1, Domain: 100, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := GenerateAppended(tb, field, AppendedTableSpec{Rows: 1000, DriftMean: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ycol, _ := tb.Schema().Lookup("y")
+	if app.Stats(ycol).Mean < tb.Stats(ycol).Mean+3 {
+		t.Fatalf("append did not drift: %v vs %v", app.Stats(ycol).Mean, tb.Stats(ycol).Mean)
+	}
+}
+
+func TestTPCHGeneration(t *testing.T) {
+	tb, err := GenerateTPCH(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3000 {
+		t.Fatalf("rows=%d", tb.Rows())
+	}
+	qcol, _ := tb.Schema().Lookup("l_quantity")
+	pcol, _ := tb.Schema().Lookup("l_extendedprice")
+	qs, ps := tb.Stats(qcol), tb.Stats(pcol)
+	if qs.Min < 1 || qs.Max > 50 {
+		t.Fatalf("quantity stats=%+v", qs)
+	}
+	if ps.Mean <= 0 {
+		t.Fatalf("price mean=%v", ps.Mean)
+	}
+	rcol, _ := tb.Schema().Lookup("l_returnflag")
+	if tb.DictOf(rcol).Size() != 3 {
+		t.Fatalf("returnflag cardinality=%d", tb.DictOf(rcol).Size())
+	}
+}
+
+func TestTPCHTemplatesMatchTable3(t *testing.T) {
+	// The checker's classification of the 22 templates must reproduce
+	// Table 3's TPC-H row: 21 aggregate queries, 14 supported.
+	tpls := TPCHTemplates()
+	if len(tpls) != 22 {
+		t.Fatalf("templates=%d", len(tpls))
+	}
+	rng := randx.New(7)
+	agg, supported := 0, 0
+	for _, tpl := range tpls {
+		sql := InstantiateTPCH(tpl, rng)
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("Q%d does not parse: %q: %v", tpl.ID, sql, err)
+		}
+		sup := query.Check(stmt)
+		if sup.HasAggregate != tpl.HasAggregate {
+			t.Errorf("Q%d aggregate flag: checker=%v template=%v", tpl.ID, sup.HasAggregate, tpl.HasAggregate)
+		}
+		if sup.OK != tpl.Supported {
+			t.Errorf("Q%d support: checker=%v template=%v (reasons=%v)", tpl.ID, sup.OK, tpl.Supported, sup.Reasons)
+		}
+		if sup.HasAggregate {
+			agg++
+		}
+		if sup.OK {
+			supported++
+		}
+	}
+	if agg != 21 || supported != 14 {
+		t.Fatalf("classification: aggregates=%d supported=%d, want 21/14", agg, supported)
+	}
+}
+
+func TestTPCHSupportedTemplatesExecuteBind(t *testing.T) {
+	tb, err := GenerateTPCH(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(8)
+	for _, tpl := range TPCHTemplates() {
+		if !tpl.Supported {
+			continue
+		}
+		sql := InstantiateTPCH(tpl, rng)
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("Q%d parse: %v", tpl.ID, err)
+		}
+		if _, err := query.BindRegion(stmt.Where, tb); err != nil {
+			t.Fatalf("Q%d bind: %v (%q)", tpl.ID, err, sql)
+		}
+		if _, err := query.Decompose(stmt, tb, nil, 0); err != nil {
+			t.Fatalf("Q%d decompose: %v", tpl.ID, err)
+		}
+	}
+}
+
+func TestTPCHWorkloadOnlySupported(t *testing.T) {
+	qs := TPCHWorkload(50, 3)
+	if len(qs) != 50 {
+		t.Fatalf("queries=%d", len(qs))
+	}
+	for _, sql := range qs {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sup := query.Check(stmt); !sup.OK {
+			t.Fatalf("unsupported in runtime workload: %q (%v)", sql, sup.Reasons)
+		}
+	}
+}
+
+func TestCustomer1Generation(t *testing.T) {
+	tb, err := GenerateCustomer1(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2000 {
+		t.Fatalf("rows=%d", tb.Rows())
+	}
+	acol, _ := tb.Schema().Lookup("amount")
+	if tb.Stats(acol).Mean <= 0 {
+		t.Fatal("amounts not positive")
+	}
+}
+
+func TestCustomer1TraceMatchesTable3(t *testing.T) {
+	spec := DefaultCustomer1TraceSpec()
+	spec.Queries = 1000
+	trace := GenerateCustomer1Trace(spec)
+	if len(trace) != 1000 {
+		t.Fatalf("trace=%d", len(trace))
+	}
+	tb, err := GenerateCustomer1(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supported, agg := 0, 0
+	var prev TraceEntry
+	for i, e := range trace {
+		stmt, err := sqlparse.Parse(e.SQL)
+		if err != nil {
+			t.Fatalf("trace query does not parse: %q: %v", e.SQL, err)
+		}
+		sup := query.Check(stmt)
+		if sup.OK != e.Supported {
+			t.Fatalf("classification mismatch for %q: checker=%v entry=%v (%v)",
+				e.SQL, sup.OK, e.Supported, sup.Reasons)
+		}
+		if sup.OK {
+			supported++
+			if _, err := query.BindRegion(stmt.Where, tb); err != nil {
+				t.Fatalf("supported trace query fails bind: %q: %v", e.SQL, err)
+			}
+		}
+		if sup.HasAggregate {
+			agg++
+		}
+		if i > 0 && e.At.Before(prev.At) {
+			t.Fatal("trace not time-ordered")
+		}
+		prev = e
+	}
+	frac := float64(supported) / float64(agg)
+	if math.Abs(frac-0.737) > 0.01 {
+		t.Fatalf("supported fraction=%v want ~0.737", frac)
+	}
+}
+
+func TestUCIDatasets(t *testing.T) {
+	if len(UCIDatasetNames) != 16 {
+		t.Fatalf("datasets=%d", len(UCIDatasetNames))
+	}
+	var all []float64
+	for i, name := range UCIDatasetNames {
+		tb, err := GenerateUCILike(name, i, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := AllAdjacentCorrelations(tb)
+		if len(cs) == 0 {
+			t.Fatalf("%s: no correlations", name)
+		}
+		all = append(all, cs...)
+	}
+	// Figure 13's point: a substantial share of pairs show clearly positive
+	// inter-tuple correlation, while others hover near zero.
+	strong, weak := 0, 0
+	for _, c := range all {
+		if c > 0.3 {
+			strong++
+		}
+		if math.Abs(c) < 0.1 {
+			weak++
+		}
+		if c < -0.9 || c > 1.0001 {
+			t.Fatalf("correlation out of range: %v", c)
+		}
+	}
+	if strong == 0 {
+		t.Fatal("no strongly correlated pairs — Figure 13 shape lost")
+	}
+	if weak == 0 {
+		t.Fatal("no near-zero pairs — Figure 13 shape lost")
+	}
+}
+
+func TestAdjacentCorrelationOracle(t *testing.T) {
+	// A column equal to its sort key is maximally adjacent-correlated; an
+	// i.i.d. column is not.
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "a0", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "a1", Kind: storage.Numeric, Role: storage.Dimension},
+	})
+	tb := storage.NewTable("x", schema)
+	rng := randx.New(9)
+	for i := 0; i < 500; i++ {
+		v := rng.Uniform(0, 100)
+		if err := tb.AppendRow([]storage.Value{storage.Num(v), storage.Num(rng.Normal(0, 1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := AdjacentCorrelation(tb, 0, 0); c < 0.99 {
+		// Sorting a column by itself: adjacent values nearly identical.
+		t.Fatalf("self-sorted correlation=%v", c)
+	}
+	if c := math.Abs(AdjacentCorrelation(tb, 1, 0)); c > 0.15 {
+		t.Fatalf("iid adjacent correlation=%v", c)
+	}
+}
