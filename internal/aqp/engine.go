@@ -3,9 +3,7 @@ package aqp
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/mathx"
@@ -21,11 +19,31 @@ type Engine struct {
 	base   *storage.Table
 	sample *Sample
 	cost   CostModel
+	mode   ScanMode
 }
 
-// NewEngine wires a base relation, its offline sample and a cost model.
+// NewEngine wires a base relation, its offline sample and a cost model. The
+// engine scans with the vectorized block pipeline by default; see
+// SetScanMode.
 func NewEngine(base *storage.Table, sample *Sample, cost CostModel) *Engine {
 	return &Engine{base: base, sample: sample, cost: cost}
+}
+
+// SetScanMode switches between the vectorized block scan (default) and the
+// legacy row-at-a-time scan (baseline/ablation).
+func (e *Engine) SetScanMode(m ScanMode) { e.mode = m }
+
+// ScanMode returns the active scan implementation.
+func (e *Engine) ScanMode() ScanMode { return e.mode }
+
+// scan feeds rows [start, end) of data into the accumulators using the
+// configured implementation.
+func (e *Engine) scan(data *storage.Table, accs []*accumulator, start, end int) {
+	if e.mode == ScanRowAtATime {
+		scanRows(data, accs, start, end)
+		return
+	}
+	scanVectorized(data, accs, start, end)
 }
 
 // Base returns the underlying relation.
@@ -143,7 +161,7 @@ func (e *Engine) OnlineAggregate(snips []*query.Snippet, yield func(BatchUpdate)
 	data := e.sample.Data
 	for b := 0; b < e.sample.Batches(); b++ {
 		start, end := e.sample.BatchBounds(b)
-		scanBatch(data, accs, start, end)
+		e.scan(data, accs, start, end)
 		upd := BatchUpdate{
 			Estimates:   make([]query.ScalarEstimate, len(accs)),
 			Valid:       make([]bool, len(accs)),
@@ -182,7 +200,7 @@ func (e *Engine) TimeBound(snips []*query.Snippet, budget time.Duration) BatchUp
 	for i, sn := range snips {
 		accs[i] = &accumulator{sn: sn, baseRows: e.sample.BaseRows}
 	}
-	scanBatch(e.sample.Data, accs, 0, rows)
+	e.scan(e.sample.Data, accs, 0, rows)
 	upd := BatchUpdate{
 		Estimates:   make([]query.ScalarEstimate, len(accs)),
 		Valid:       make([]bool, len(accs)),
@@ -195,77 +213,25 @@ func (e *Engine) TimeBound(snips []*query.Snippet, budget time.Duration) BatchUp
 	return upd
 }
 
-// parallelThreshold is the snippet count past which a batch scan fans out
-// across goroutines. Snippets are independent (each owns its accumulator),
-// so partitioning them is race-free; below the threshold the goroutine
-// overhead exceeds the win.
+// parallelThreshold is the snippet count past which the row-at-a-time scan
+// fans out across goroutines. Snippets are independent (each owns its
+// accumulator), so partitioning them is race-free; below the threshold the
+// goroutine overhead exceeds the win.
 const parallelThreshold = 8
 
-// scanBatch feeds rows [start, end) of data into every accumulator,
-// fanning snippets out over GOMAXPROCS workers for wide queries (grouped
-// queries can decompose into hundreds of snippets; Figure 3).
-func scanBatch(data *storage.Table, accs []*accumulator, start, end int) {
-	if len(accs) < parallelThreshold {
-		for row := start; row < end; row++ {
-			for _, a := range accs {
-				a.observe(data, row)
-			}
-		}
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(accs) {
-		workers = len(accs)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(accs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(accs) {
-			hi = len(accs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part []*accumulator) {
-			defer wg.Done()
-			for row := start; row < end; row++ {
-				for _, a := range part {
-					a.observe(data, row)
-				}
-			}
-		}(accs[lo:hi])
-	}
-	wg.Wait()
-}
-
 // Exact computes the snippet's exact answer on the base relation — the
-// ground truth θ̄ experiments compare against.
+// ground truth θ̄ experiments compare against. It reuses the vectorized
+// block pipeline (always, regardless of the engine's scan mode, so the
+// ground truth is scan-mode-independent): a FREQ accumulator's indicator
+// mean is the matching fraction and an AVG accumulator's mean is the
+// matched-value mean, which is exactly the definition of θ̄.
 func (e *Engine) Exact(sn *query.Snippet) float64 {
-	t := e.base
-	switch sn.Kind {
-	case query.FreqAgg:
-		match := 0
-		for row := 0; row < t.Rows(); row++ {
-			if sn.Region.Matches(t, row) {
-				match++
-			}
-		}
-		if t.Rows() == 0 {
-			return 0
-		}
-		return float64(match) / float64(t.Rows())
-	default:
-		var m mathx.Moments
-		for row := 0; row < t.Rows(); row++ {
-			if sn.Region.Matches(t, row) {
-				m.Add(sn.Measure(t, row))
-			}
-		}
-		return m.Mean()
+	if e.base.Rows() == 0 {
+		return 0
 	}
+	acc := &accumulator{sn: sn}
+	scanVectorized(e.base, []*accumulator{acc}, 0, e.base.Rows())
+	return acc.moments.Mean()
 }
 
 // GroupRows discovers the distinct group values of a grouped statement by

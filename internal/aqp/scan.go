@@ -1,0 +1,267 @@
+package aqp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mathx"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Vectorized block scan. The sample (or base relation) is walked in
+// storage.BlockSize blocks; per block, each snippet first consults the zone
+// maps (provably-empty and provably-full blocks contribute closed-form
+// moment updates without touching rows), and only indeterminate blocks run
+// the columnar predicate into a reusable selection vector. Blocks are
+// grouped into fixed-size work units that fan out across GOMAXPROCS workers
+// with per-unit accumulators merged in unit order — data-parallelism even
+// for a single snippet, which the older snippet-parallel design could not
+// provide. Results are deterministic AND machine-invariant: the unit
+// partition and the merge order depend only on the scanned range, never on
+// the worker count, so the floating-point merge tree is identical on any
+// core count.
+
+// ScanMode selects the Engine's scan implementation.
+type ScanMode uint8
+
+const (
+	// ScanVectorized is the default block-partitioned, zone-map-pruned,
+	// data-parallel scan.
+	ScanVectorized ScanMode = iota
+	// ScanRowAtATime is the legacy per-row scan, kept as the measurable
+	// baseline and as an ablation/debug mode.
+	ScanRowAtATime
+)
+
+// unitBlocks is the number of blocks per work unit — the scheduling and
+// merge granule. It is a fixed constant (never derived from the worker
+// count) so the moment merge tree, and hence the floating-point result, is
+// identical on any machine.
+const unitBlocks = 16
+
+// minRowsPerWorker bounds the fan-out: below this many rows per worker the
+// goroutine overhead exceeds the win.
+const minRowsPerWorker = 8192
+
+// partial is one worker's accumulation state for one snippet.
+type partial struct {
+	moments mathx.Moments
+	scanned int
+}
+
+// snipMeta caches per-snippet scan info resolved once per scan call.
+type snipMeta struct {
+	region     *query.Region
+	kind       query.AggKind
+	measure    func(*storage.Table, int) float64
+	measureCol int // bare-column measure index; -1 when unavailable
+}
+
+func metaOf(accs []*accumulator) []snipMeta {
+	metas := make([]snipMeta, len(accs))
+	for i, a := range accs {
+		metas[i] = snipMeta{
+			region:     a.sn.Region,
+			kind:       a.sn.Kind,
+			measure:    a.sn.Measure,
+			measureCol: -1,
+		}
+		if col, ok := a.sn.MeasureColumn(); ok {
+			metas[i].measureCol = col
+		}
+	}
+	return metas
+}
+
+// scanVectorized feeds rows [start, end) of data into every accumulator via
+// the block pipeline.
+func scanVectorized(data *storage.Table, accs []*accumulator, start, end int) {
+	if end <= start || len(accs) == 0 {
+		return
+	}
+	metas := metaOf(accs)
+	b0 := start / storage.BlockSize
+	b1 := (end - 1) / storage.BlockSize // inclusive
+	nblocks := b1 - b0 + 1
+	units := (nblocks + unitBlocks - 1) / unitBlocks
+	parts := make([][]partial, units)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > units {
+		workers = units
+	}
+	if maxW := (end - start + minRowsPerWorker - 1) / minRowsPerWorker; workers > maxW {
+		workers = maxW
+	}
+	unitRange := func(u int) (int, int) {
+		blo := b0 + u*unitBlocks
+		bhi := blo + unitBlocks
+		if bhi > b1+1 {
+			bhi = b1 + 1
+		}
+		return blo, bhi
+	}
+	if workers <= 1 {
+		var sc blockScanner
+		for u := 0; u < units; u++ {
+			blo, bhi := unitRange(u)
+			parts[u] = sc.scanRange(data, metas, blo, bhi, start, end)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sc blockScanner
+				for {
+					u := int(next.Add(1)) - 1
+					if u >= units {
+						return
+					}
+					blo, bhi := unitRange(u)
+					parts[u] = sc.scanRange(data, metas, blo, bhi, start, end)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Merge per-unit partials in unit order: the merge tree depends only on
+	// the scanned range, not on scheduling or core count.
+	for _, p := range parts {
+		merge(accs, p)
+	}
+}
+
+func merge(accs []*accumulator, parts []partial) {
+	if parts == nil {
+		return
+	}
+	for i := range parts {
+		accs[i].moments.Merge(parts[i].moments)
+		accs[i].scanned += parts[i].scanned
+	}
+}
+
+// blockScanner carries per-worker scratch buffers reused across work units.
+type blockScanner struct {
+	sel  []int32
+	vals []float64
+}
+
+// scanRange processes blocks [b0, b1) clipped to rows [start, end),
+// returning one partial per snippet.
+func (s *blockScanner) scanRange(data *storage.Table, metas []snipMeta, b0, b1, start, end int) []partial {
+	parts := make([]partial, len(metas))
+	if s.sel == nil {
+		s.sel = make([]int32, 0, storage.BlockSize)
+	}
+	sel, vals := s.sel, s.vals
+	defer func() { s.sel, s.vals = sel, vals }()
+	for b := b0; b < b1; b++ {
+		blo, bhi := data.BlockBounds(b)
+		if blo < start {
+			blo = start
+		}
+		if bhi > end {
+			bhi = end
+		}
+		if bhi <= blo {
+			continue
+		}
+		rows := bhi - blo
+		for i := range metas {
+			m := &metas[i]
+			p := &parts[i]
+			p.scanned += rows
+			// Zone maps summarize the whole block; their verdicts hold for
+			// any sub-range of it.
+			switch m.region.PruneBlock(data, b) {
+			case query.BlockEmpty:
+				if m.kind == query.FreqAgg {
+					p.moments.AddZeros(int64(rows))
+				}
+				continue
+			case query.BlockFull:
+				if m.kind == query.FreqAgg {
+					p.moments.AddWeighted(1, int64(rows))
+				} else if m.measureCol >= 0 {
+					p.moments.AddSlice(data.NumericCol(m.measureCol)[blo:bhi])
+				} else {
+					vals = vals[:0]
+					for row := blo; row < bhi; row++ {
+						vals = append(vals, m.measure(data, row))
+					}
+					p.moments.AddSlice(vals)
+				}
+				continue
+			}
+			sel = m.region.MatchBlock(data, blo, bhi, sel)
+			match := len(sel)
+			if m.kind == query.FreqAgg {
+				p.moments.AddWeighted(1, int64(match))
+				p.moments.AddZeros(int64(rows-match))
+				continue
+			}
+			if match == 0 {
+				continue
+			}
+			vals = vals[:0]
+			if m.measureCol >= 0 {
+				col := data.NumericCol(m.measureCol)
+				for _, r := range sel {
+					vals = append(vals, col[r])
+				}
+			} else {
+				for _, r := range sel {
+					vals = append(vals, m.measure(data, int(r)))
+				}
+			}
+			p.moments.AddSlice(vals)
+		}
+	}
+	return parts
+}
+
+// scanRows is the legacy row-at-a-time scan: per-row predicate dispatch,
+// parallel across snippets only (grouped queries can decompose into hundreds
+// of snippets; Figure 3). Kept as the ScanRowAtATime baseline.
+func scanRows(data *storage.Table, accs []*accumulator, start, end int) {
+	if len(accs) < parallelThreshold {
+		for row := start; row < end; row++ {
+			for _, a := range accs {
+				a.observe(data, row)
+			}
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(accs) {
+		workers = len(accs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(accs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(accs) {
+			hi = len(accs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []*accumulator) {
+			defer wg.Done()
+			for row := start; row < end; row++ {
+				for _, a := range part {
+					a.observe(data, row)
+				}
+			}
+		}(accs[lo:hi])
+	}
+	wg.Wait()
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// Production configurations must leave it false: Theorem 1's guarantee
 	// depends on validation.
 	DisableValidation bool
+	// RowAtATimeScan makes the wired engine use the legacy per-row scan
+	// instead of the vectorized block pipeline — an ablation/debug switch;
+	// production configurations leave it false.
+	RowAtATimeScan bool
 }
 
 // Defaults per the paper.

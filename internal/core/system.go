@@ -36,10 +36,20 @@ type SystemStats struct {
 
 // NewSystem builds a System over an engine with the given configuration.
 func NewSystem(engine *aqp.Engine, cfg Config) *System {
+	applyScanMode(engine, cfg)
 	return &System{
 		engine:  engine,
 		verdict: New(engine.Base(), cfg),
 		cfg:     cfg.withDefaults(),
+	}
+}
+
+// applyScanMode wires the configured scan implementation into the engine.
+func applyScanMode(engine *aqp.Engine, cfg Config) {
+	if cfg.RowAtATimeScan {
+		engine.SetScanMode(aqp.ScanRowAtATime)
+	} else {
+		engine.SetScanMode(aqp.ScanVectorized)
 	}
 }
 

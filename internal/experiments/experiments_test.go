@@ -9,6 +9,9 @@ import (
 // TestAllExperimentsRunSmall smoke-runs every registered experiment at
 // Small scale and checks basic report integrity.
 func TestAllExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite takes minutes; skipped with -short")
+	}
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
@@ -48,7 +51,7 @@ func TestRegistryComplete(t *testing.T) {
 		"figure1", "figure4", "figure5",
 		"figure6a", "figure6b", "figure6c", "figure6d",
 		"figure7", "figure9", "figure10", "figure11", "figure12", "figure13",
-		"ablation",
+		"ablation", "scanbench",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -63,6 +66,9 @@ func TestRegistryComplete(t *testing.T) {
 // TestTable3MatchesPaperNumbers verifies the classification percentages at
 // full trace size.
 func TestTable3MatchesPaperNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-trace classification; skipped with -short")
+	}
 	rep, err := Table3Generality(Options{Scale: Full, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +95,9 @@ func TestTable3MatchesPaperNumbers(t *testing.T) {
 // coverage near zero in the tight buckets; a residual tail from kernel
 // misspecification at ~45 training queries is acceptable.)
 func TestFigure5BoundsCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full model; skipped with -short")
+	}
 	rep, err := Figure5ConfidenceIntervals(Options{Scale: Small, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +131,9 @@ func TestFigure5BoundsCalibrated(t *testing.T) {
 // even at the worst parameter scale, and that disabling it lets them blow
 // up somewhere.
 func TestFigure9ValidationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full model; skipped with -short")
+	}
 	rep, err := Figure9ModelValidation(Options{Scale: Small, Seed: 5})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,84 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAddSliceMatchesSequential: batch accumulation must agree with per-value
+// Welford up to floating-point noise.
+func TestAddSliceMatchesSequential(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)*0.7)*100 + float64(i%17)
+	}
+	var seq, batch Moments
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	// Fold in uneven chunks to exercise the merge path.
+	for lo := 0; lo < len(xs); {
+		hi := lo + 1 + (lo*7)%997
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		batch.AddSlice(xs[lo:hi])
+		lo = hi
+	}
+	if seq.Count() != batch.Count() {
+		t.Fatalf("count %d != %d", seq.Count(), batch.Count())
+	}
+	if d := math.Abs(seq.Mean() - batch.Mean()); d > 1e-9 {
+		t.Fatalf("mean diff %g", d)
+	}
+	if d := math.Abs(seq.SampleVariance()-batch.SampleVariance()) / seq.SampleVariance(); d > 1e-9 {
+		t.Fatalf("variance rel diff %g", d)
+	}
+}
+
+// TestAddZerosAndWeighted: the O(1) indicator paths must match per-value
+// accumulation of the same multiset.
+func TestAddZerosAndWeighted(t *testing.T) {
+	var seq, batch Moments
+	for i := 0; i < 300; i++ {
+		seq.Add(1)
+	}
+	for i := 0; i < 700; i++ {
+		seq.Add(0)
+	}
+	batch.AddWeighted(1, 300)
+	batch.AddZeros(700)
+	if batch.Count() != 1000 {
+		t.Fatalf("count=%d", batch.Count())
+	}
+	if d := math.Abs(seq.Mean() - batch.Mean()); d > 1e-12 {
+		t.Fatalf("mean diff %g", d)
+	}
+	if d := math.Abs(seq.Variance() - batch.Variance()); d > 1e-12 {
+		t.Fatalf("variance diff %g (seq %g batch %g)", d, seq.Variance(), batch.Variance())
+	}
+	// Non-positive weights are no-ops.
+	before := batch
+	batch.AddWeighted(5, 0)
+	batch.AddWeighted(5, -3)
+	batch.AddZeros(0)
+	if batch != before {
+		t.Fatal("non-positive weight mutated accumulator")
+	}
+}
+
+// TestAddSliceEmpty: empty slices are no-ops.
+func TestAddSliceEmpty(t *testing.T) {
+	var m Moments
+	m.AddSlice(nil)
+	m.AddSlice([]float64{})
+	if m.Count() != 0 {
+		t.Fatalf("count=%d", m.Count())
+	}
+	m.Add(2)
+	before := m
+	m.AddSlice(nil)
+	if m != before {
+		t.Fatal("empty AddSlice mutated accumulator")
+	}
+}

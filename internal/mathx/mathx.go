@@ -172,11 +172,39 @@ func (m *Moments) Add(x float64) {
 	m.m2 += delta * (x - m.mean)
 }
 
-// AddWeighted folds an observation with an integer multiplicity.
+// AddWeighted folds an observation with an integer multiplicity, in O(1):
+// w copies of x form a sub-population with mean x and zero scatter, so the
+// fold is a single parallel-Welford merge.
 func (m *Moments) AddWeighted(x float64, w int64) {
-	for i := int64(0); i < w; i++ {
-		m.Add(x)
+	if w <= 0 {
+		return
 	}
+	m.Merge(Moments{n: w, mean: x})
+}
+
+// AddZeros folds k zero observations in O(1) — the FREQ indicator path for
+// rows outside the selection region.
+func (m *Moments) AddZeros(k int64) { m.AddWeighted(0, k) }
+
+// AddSlice folds a batch of observations with two tight passes (sum, then
+// squared deviations) and one merge, avoiding per-value function-call and
+// division overhead on the vectorized scan path.
+func (m *Moments) AddSlice(xs []float64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var m2 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+	}
+	m.Merge(Moments{n: int64(n), mean: mean, m2: m2})
 }
 
 // Merge combines another accumulator into m (parallel Welford merge).

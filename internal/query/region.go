@@ -31,8 +31,13 @@ type NumRange struct {
 	LoOpen, HiOpen bool
 }
 
-// Contains reports whether v satisfies the range.
+// Contains reports whether v satisfies the range. NaN satisfies nothing:
+// zone-map pruning and the vectorized filters both rely on range membership
+// being an interval predicate, which NaN's unordered comparisons would break.
 func (r NumRange) Contains(v float64) bool {
+	if v != v {
+		return false
+	}
 	if r.LoOpen {
 		if v <= r.Lo {
 			return false

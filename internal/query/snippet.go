@@ -66,6 +66,21 @@ func (s *Snippet) Func() FuncID {
 	return FuncID{Kind: s.Kind, MeasureKey: s.MeasureKey}
 }
 
+// MeasureColumn resolves the snippet's measure to a bare numeric column when
+// possible (the MeasureKey is exactly a column name, the canonical key
+// CompileMeasure emits for a ColRef). The vectorized scan path then gathers
+// values straight from the column slice instead of calling Measure per row.
+func (s *Snippet) MeasureColumn() (int, bool) {
+	if s.Kind != AvgAgg || s.Table == nil {
+		return 0, false
+	}
+	col, ok := s.Table.Schema().Lookup(s.MeasureKey)
+	if !ok || s.Table.Schema().Col(col).Kind != storage.Numeric {
+		return 0, false
+	}
+	return col, true
+}
+
 // Key returns a canonical identity string: aggregate function plus region.
 // Identical keys denote identical snippets (used for caching baselines and
 // dedup).

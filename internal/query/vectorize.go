@@ -1,0 +1,209 @@
+package query
+
+import (
+	"math"
+
+	"repro/internal/storage"
+)
+
+// Vectorized region evaluation. The scan engine partitions a table into
+// storage.BlockSize blocks; for each block a Region first consults the zone
+// maps (PruneBlock) and only when the answer is indeterminate evaluates the
+// predicate column-at-a-time into a reusable selection vector (MatchBlock).
+// This replaces per-row Matches dispatch on the hot path: each constrained
+// column is filtered in one tight loop over its backing slice.
+
+// BlockDecision is the outcome of zone-map pruning for one block.
+type BlockDecision uint8
+
+const (
+	// BlockPartial means the zone maps cannot decide; rows must be tested.
+	BlockPartial BlockDecision = iota
+	// BlockEmpty means provably no row of the block matches.
+	BlockEmpty
+	// BlockFull means provably every row of the block matches.
+	BlockFull
+)
+
+// PruneBlock classifies block b of table t against the region using only
+// zone maps, in O(#constraints) — no row access. BlockEmpty and BlockFull
+// let the scan engine skip per-row predicate work entirely.
+func (g *Region) PruneBlock(t *storage.Table, b int) BlockDecision {
+	full := true
+	for col, r := range g.num {
+		if r.Empty() {
+			return BlockEmpty
+		}
+		z := t.NumZone(col, b)
+		// Entirely below or above the range ⇒ empty.
+		if z.Max < r.Lo || (z.Max == r.Lo && r.LoOpen) ||
+			z.Min > r.Hi || (z.Min == r.Hi && r.HiOpen) {
+			return BlockEmpty
+		}
+		// The range is an interval, so containing both extremes contains
+		// every value in between.
+		if !(r.Contains(z.Min) && r.Contains(z.Max)) {
+			full = false
+		}
+	}
+	for col, s := range g.cat {
+		if s.Codes == nil {
+			continue // universal: satisfied by every row
+		}
+		z := t.CatZone(col, b)
+		if len(s.Codes) == 0 {
+			return BlockEmpty
+		}
+		any := false
+		for _, c := range s.Codes {
+			if z.ContainsCode(c) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return BlockEmpty
+		}
+		// Only a single-valued block can be proven fully admitted.
+		if !(z.MinCode == z.MaxCode && s.Contains(z.MinCode)) {
+			full = false
+		}
+	}
+	if full {
+		return BlockFull
+	}
+	return BlockPartial
+}
+
+// PrunesBlock reports whether zone maps prove block b contains no matching
+// row — the skip test of the vectorized scan loop.
+func (g *Region) PrunesBlock(t *storage.Table, b int) bool {
+	return g.PruneBlock(t, b) == BlockEmpty
+}
+
+// MatchBlock evaluates the region over rows [lo, hi) of t and returns the
+// selection vector of matching absolute row indices, ascending. sel is a
+// scratch buffer reused across calls (pass sel[:0] semantics: its contents
+// are overwritten, its capacity reused); the returned slice aliases it when
+// capacity suffices.
+func (g *Region) MatchBlock(t *storage.Table, lo, hi int, sel []int32) []int32 {
+	sel = sel[:0]
+	if hi <= lo {
+		return sel
+	}
+	first := true
+	for col, r := range g.num {
+		vals := t.NumericCol(col)
+		// Convert open bounds to closed ones on adjacent floats so the inner
+		// loop is two branch-predictable comparisons.
+		effLo, effHi := r.Lo, r.Hi
+		if r.LoOpen {
+			effLo = math.Nextafter(r.Lo, math.Inf(1))
+		}
+		if r.HiOpen {
+			effHi = math.Nextafter(r.Hi, math.Inf(-1))
+		}
+		if first {
+			for row := lo; row < hi; row++ {
+				if v := vals[row]; v >= effLo && v <= effHi {
+					sel = append(sel, int32(row))
+				}
+			}
+			first = false
+		} else {
+			kept := sel[:0]
+			for _, row := range sel {
+				if v := vals[row]; v >= effLo && v <= effHi {
+					kept = append(kept, row)
+				}
+			}
+			sel = kept
+		}
+		if len(sel) == 0 {
+			return sel
+		}
+	}
+	for col, s := range g.cat {
+		if s.Codes == nil {
+			continue
+		}
+		codes := t.CodesCol(col)
+		if first {
+			sel = filterCatFirst(codes, lo, hi, s, sel)
+			first = false
+		} else {
+			sel = filterCat(codes, s, sel)
+		}
+		if len(sel) == 0 {
+			return sel
+		}
+	}
+	if first {
+		// Unconstrained region: every row matches.
+		for row := lo; row < hi; row++ {
+			sel = append(sel, int32(row))
+		}
+	}
+	return sel
+}
+
+// filterCatFirst seeds the selection vector from a categorical constraint.
+func filterCatFirst(codes []int32, lo, hi int, s CatSet, sel []int32) []int32 {
+	switch len(s.Codes) {
+	case 0:
+		return sel
+	case 1:
+		want := s.Codes[0]
+		for row := lo; row < hi; row++ {
+			if codes[row] == want {
+				sel = append(sel, int32(row))
+			}
+		}
+	default:
+		for row := lo; row < hi; row++ {
+			if catSetHas(s, codes[row]) {
+				sel = append(sel, int32(row))
+			}
+		}
+	}
+	return sel
+}
+
+// filterCat narrows an existing selection vector in place.
+func filterCat(codes []int32, s CatSet, sel []int32) []int32 {
+	kept := sel[:0]
+	switch len(s.Codes) {
+	case 0:
+		return kept
+	case 1:
+		want := s.Codes[0]
+		for _, row := range sel {
+			if codes[row] == want {
+				kept = append(kept, row)
+			}
+		}
+	default:
+		for _, row := range sel {
+			if catSetHas(s, codes[row]) {
+				kept = append(kept, row)
+			}
+		}
+	}
+	return kept
+}
+
+// smallSetScan is the set size below which a linear scan beats binary search
+// in the per-row membership test.
+const smallSetScan = 8
+
+func catSetHas(s CatSet, code int32) bool {
+	if len(s.Codes) <= smallSetScan {
+		for _, c := range s.Codes {
+			if c == code {
+				return true
+			}
+		}
+		return false
+	}
+	return s.Contains(code)
+}

@@ -1,0 +1,198 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// zoneSchema builds a 2-column (numeric dimension, categorical dimension)
+// schema for zone-map tests.
+func zoneSchema() *Schema {
+	return MustSchema([]ColumnDef{
+		{Name: "x", Kind: Numeric, Role: Dimension},
+		{Name: "c", Kind: Categorical, Role: Dimension},
+	})
+}
+
+// checkZones verifies every block's zone map against a brute-force rescan of
+// the block's rows.
+func checkZones(t *testing.T, tb *Table) {
+	t.Helper()
+	xcol, _ := tb.Schema().Lookup("x")
+	ccol, _ := tb.Schema().Lookup("c")
+	wantBlocks := (tb.Rows() + BlockSize - 1) / BlockSize
+	if got := tb.NumBlocks(); got != wantBlocks {
+		t.Fatalf("NumBlocks=%d want %d", got, wantBlocks)
+	}
+	for b := 0; b < tb.NumBlocks(); b++ {
+		lo, hi := tb.BlockBounds(b)
+		if lo >= hi {
+			t.Fatalf("block %d empty bounds [%d,%d)", b, lo, hi)
+		}
+		nz := tb.NumZone(xcol, b)
+		cz := tb.CatZone(ccol, b)
+		min, max := tb.NumAt(lo, xcol), tb.NumAt(lo, xcol)
+		minC, maxC := tb.CodesCol(ccol)[lo], tb.CodesCol(ccol)[lo]
+		for r := lo; r < hi; r++ {
+			v := tb.NumAt(r, xcol)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			code := tb.CodesCol(ccol)[r]
+			if code < minC {
+				minC = code
+			}
+			if code > maxC {
+				maxC = code
+			}
+			if !cz.ContainsCode(code) {
+				t.Fatalf("block %d: code %d present but ContainsCode=false", b, code)
+			}
+		}
+		if nz.Min != min || nz.Max != max {
+			t.Fatalf("block %d: NumZone=%+v want [%g,%g]", b, nz, min, max)
+		}
+		if cz.MinCode != minC || cz.MaxCode != maxC {
+			t.Fatalf("block %d: CatZone=%+v want codes [%d,%d]", b, cz, minC, maxC)
+		}
+	}
+}
+
+func TestZoneMapsUnderAppendRow(t *testing.T) {
+	tb := NewTable("t", zoneSchema())
+	// Cross two block boundaries, with values that widen each block's zone
+	// as it fills.
+	n := 2*BlockSize + 137
+	for i := 0; i < n; i++ {
+		v := float64((i*7919)%1000) - 500 // pseudo-random walk over [-500,500)
+		c := fmt.Sprintf("g%d", (i*31)%7)
+		if err := tb.AppendRow([]Value{Num(v), Str(c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.NumBlocks() != 3 {
+		t.Fatalf("blocks=%d", tb.NumBlocks())
+	}
+	checkZones(t, tb)
+	// Last block is partial.
+	lo, hi := tb.BlockBounds(2)
+	if lo != 2*BlockSize || hi != n {
+		t.Fatalf("last block bounds [%d,%d)", lo, hi)
+	}
+}
+
+func TestZoneMapsUnderAppendTableSharedDict(t *testing.T) {
+	schema := zoneSchema()
+	tb := NewTable("t", schema)
+	for i := 0; i < BlockSize+10; i++ {
+		if err := tb.AppendRow([]Value{Num(float64(i)), Str("a")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same-dict path: a table built via SelectRows shares the dictionary.
+	idx := make([]int, 500)
+	for i := range idx {
+		idx[i] = i
+	}
+	other := tb.SelectRows("other", idx)
+	if err := tb.AppendTable(other); err != nil {
+		t.Fatal(err)
+	}
+	checkZones(t, tb)
+}
+
+func TestZoneMapsUnderAppendTableReencode(t *testing.T) {
+	schema := zoneSchema()
+	tb := NewTable("t", schema)
+	other := NewTable("o", schema) // fresh table ⇒ its own dictionary
+	// Intern codes in different orders so re-encoding actually remaps.
+	for i := 0; i < 100; i++ {
+		if err := tb.AppendRow([]Value{Num(float64(i)), Str([]string{"a", "b"}[i%2])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < BlockSize; i++ {
+		if err := other.AppendRow([]Value{Num(float64(1000 + i)), Str([]string{"c", "b", "a"}[i%3])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.DictOf(1) == other.DictOf(1) {
+		t.Fatal("test premise: dicts must differ")
+	}
+	if err := tb.AppendTable(other); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 100+BlockSize {
+		t.Fatalf("rows=%d", tb.Rows())
+	}
+	checkZones(t, tb)
+	// Domain widened by appended values.
+	lo, hi := tb.Domain(0)
+	if lo != 0 || hi != float64(1000+BlockSize-1) {
+		t.Fatalf("domain [%g,%g]", lo, hi)
+	}
+	// Re-encoded strings survive round-trip.
+	if got := tb.StrAt(100, 1); got != "c" {
+		t.Fatalf("first appended string=%q", got)
+	}
+}
+
+func TestSelectRowsZonesAndDomains(t *testing.T) {
+	schema := MustSchema([]ColumnDef{
+		{Name: "x", Kind: Numeric, Role: Dimension},
+		{Name: "c", Kind: Categorical, Role: Dimension},
+	})
+	tb := NewTable("t", schema)
+	for i := 0; i < 3*BlockSize; i++ {
+		if err := tb.AppendRow([]Value{Num(float64(i)), Str(fmt.Sprintf("g%d", i%5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Select a narrow slice: zones must reflect the *selected* rows while
+	// the numeric domain still reports the base relation's extent (§4.1:
+	// range-to-domain substitution refers to the full relation).
+	idx := make([]int, 0, BlockSize/2)
+	for i := BlockSize; i < BlockSize+BlockSize/2; i++ {
+		idx = append(idx, i)
+	}
+	sub := tb.SelectRows("sub", idx)
+	checkZones(t, sub)
+	if sub.NumBlocks() != 1 {
+		t.Fatalf("sub blocks=%d", sub.NumBlocks())
+	}
+	z := sub.NumZone(0, 0)
+	if z.Min != float64(BlockSize) || z.Max != float64(BlockSize+BlockSize/2-1) {
+		t.Fatalf("sub zone=%+v", z)
+	}
+	lo, hi := sub.Domain(0)
+	if lo != 0 || hi != float64(3*BlockSize-1) {
+		t.Fatalf("sub domain [%g,%g] must inherit base relation extent", lo, hi)
+	}
+}
+
+func TestZoneMapEmptyTable(t *testing.T) {
+	tb := NewTable("t", zoneSchema())
+	if tb.NumBlocks() != 0 {
+		t.Fatalf("empty table blocks=%d", tb.NumBlocks())
+	}
+}
+
+func TestCatZoneContainsCode(t *testing.T) {
+	z := CatZone{MinCode: 3, MaxCode: 70, Mask: (1 << 3) | (1 << (70 % 64))}
+	if z.ContainsCode(2) || z.ContainsCode(71) {
+		t.Fatal("out-of-range code admitted")
+	}
+	if !z.ContainsCode(3) || !z.ContainsCode(70) {
+		t.Fatal("present code rejected")
+	}
+	if z.ContainsCode(4) {
+		t.Fatal("absent in-mask-range code with clear bit admitted")
+	}
+	// 67 aliases 3 mod 64: conservatively possible.
+	if !z.ContainsCode(67) {
+		t.Fatal("mask aliasing must stay conservative")
+	}
+}

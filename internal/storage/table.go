@@ -21,6 +21,12 @@ type Table struct {
 	// that sibling tables sharing a Schema do not clobber each other.
 	mins, maxs []float64
 	domainSet  []bool
+
+	// Per-block zone maps (see block.go): numZones[col] is indexed by block
+	// for numeric columns (nil for categorical), catZones[col] likewise for
+	// categorical columns.
+	numZones [][]NumZone
+	catZones [][]CatZone
 }
 
 // Dict is a string dictionary for one categorical column.
@@ -68,6 +74,8 @@ func NewTable(name string, schema *Schema) *Table {
 		mins:      make([]float64, schema.Len()),
 		maxs:      make([]float64, schema.Len()),
 		domainSet: make([]bool, schema.Len()),
+		numZones:  make([][]NumZone, schema.Len()),
+		catZones:  make([][]CatZone, schema.Len()),
 	}
 	for i := 0; i < schema.Len(); i++ {
 		def := schema.Col(i)
@@ -113,8 +121,11 @@ func (t *Table) AppendRow(vals []Value) error {
 		case Numeric:
 			t.numeric[i] = append(t.numeric[i], v.Num)
 			t.observe(i, v.Num)
+			t.observeZoneNum(i, t.rows, v.Num)
 		case Categorical:
-			t.codes[i] = append(t.codes[i], t.dicts[i].Code(v.Str))
+			code := t.dicts[i].Code(v.Str)
+			t.codes[i] = append(t.codes[i], code)
+			t.observeZoneCat(i, t.rows, code)
 		}
 	}
 	t.rows++
@@ -213,6 +224,7 @@ func (t *Table) SelectRows(name string, idx []int) *Table {
 	copy(out.mins, t.mins)
 	copy(out.maxs, t.maxs)
 	copy(out.domainSet, t.domainSet)
+	out.extendZones(0)
 	return out
 }
 
@@ -247,7 +259,9 @@ func (t *Table) AppendTable(other *Table) error {
 			t.observe(i, v)
 		}
 	}
+	oldRows := t.rows
 	t.rows += other.rows
+	t.extendZones(oldRows)
 	return nil
 }
 
