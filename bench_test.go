@@ -13,6 +13,14 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
 	"os"
 	"strconv"
 	"sync"
@@ -25,6 +33,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/query"
 	"repro/internal/randx"
+	"repro/internal/server"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -308,4 +317,68 @@ func BenchmarkEngineScan(b *testing.B) {
 		_ = engine.RunToCompletion(snips)
 	}
 	b.ReportMetric(float64(sample.Data.Rows()), "rows/op")
+}
+
+// BenchmarkServerThroughput measures end-to-end queries/sec through the
+// HTTP serving layer (internal/server) at 1, 4 and 16 in-flight sessions
+// sharing one synopsis. Each session issues queries over its own
+// connection; the shared System serves them against snapshot-isolated
+// views with inference running on published model snapshots.
+func BenchmarkServerThroughput(b *testing.B) {
+	tb, err := workload.GenerateCustomer1(50000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample, err := aqp.BuildSample(tb, 0.2, 0, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := core.NewSystem(aqp.NewEngine(tb, sample, aqp.CachedCost), core.Config{})
+	srv := server.New(sys, server.Config{MaxInFlight: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := []string{
+		"SELECT AVG(amount) FROM events WHERE event_date BETWEEN 30 AND 90",
+		"SELECT COUNT(*) FROM events WHERE event_date < 60",
+		"SELECT AVG(amount) FROM events WHERE event_date >= 100",
+	}
+	for _, sessions := range []int{1, 4, 16} {
+		b.Run("sessions="+strconv.Itoa(sessions), func(b *testing.B) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for s := 0; s < sessions; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					client := &http.Client{}
+					session := "bench-" + strconv.Itoa(s)
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						body, _ := json.Marshal(server.QueryRequest{
+							SQL: queries[i%len(queries)], Session: session,
+						})
+						resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							b.Errorf("status %d", resp.StatusCode)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/sec")
+		})
+	}
 }

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// runClient is the -connect mode: the shell forwards every command to a
+// running verdict-server, so many shells share one synopsis and each
+// benefits from what the others taught it.
+func runClient(hostport string) {
+	base := "http://" + hostport
+	hc := &http.Client{Timeout: 60 * time.Second}
+
+	var st server.StatsResponse
+	if err := getJSON(hc, base+"/stats", &st); err != nil {
+		fmt.Fprintf(os.Stderr, "cannot reach verdict-server at %s: %v\n", hostport, err)
+		os.Exit(1)
+	}
+	session := fmt.Sprintf("cli-%d", os.Getpid())
+	fmt.Printf("verdict-cli — connected to %s (session %s)\n", hostport, session)
+	fmt.Printf("table %s: %d rows (%d sampled), epoch %d\n",
+		st.Table.Name, st.Table.BaseRows, st.Table.SampleRows, st.Table.Epoch)
+	fmt.Printf("columns: %s\n", strings.Join(st.Table.Columns, ", "))
+	fmt.Println(`type SQL (single line), or \train, \stats, \append N, \quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("verdict> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\train`:
+			var tr server.TrainResponse
+			if err := postJSON(hc, base+"/train", struct{}{}, &tr); err != nil {
+				fmt.Println("training failed:", err)
+			} else {
+				fmt.Printf("trained on %d snippets across %d aggregate functions\n", tr.Snippets, tr.Functions)
+			}
+		case line == `\stats`:
+			var st server.StatsResponse
+			if err := getJSON(hc, base+"/stats", &st); err != nil {
+				fmt.Println("stats failed:", err)
+				continue
+			}
+			printServerStats(st)
+		case strings.HasPrefix(line, `\append`):
+			n, err := parseAppendCount(line)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			var ar server.AppendResponse
+			req := server.AppendRequest{Session: session, Generate: n}
+			if err := postJSON(hc, base+"/append", req, &ar); err != nil {
+				fmt.Println("append failed:", err)
+				continue
+			}
+			fmt.Printf("appended %d rows (%d sampled); base now %d rows, sample %d, epoch %d\n",
+				ar.Appended, ar.Sampled, ar.BaseRows, ar.SampleRows, ar.Epoch)
+		case strings.HasPrefix(line, `\save `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
+			var sr server.SnapshotResponse
+			if err := postJSON(hc, base+"/save", server.PathRequest{Path: path}, &sr); err != nil {
+				fmt.Println("save failed:", err)
+			} else {
+				fmt.Printf("synopsis saved server-side to %s (%d snippets)\n", sr.Path, sr.Snippets)
+			}
+		case strings.HasPrefix(line, `\load `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\load `))
+			var sr server.SnapshotResponse
+			if err := postJSON(hc, base+"/load", server.PathRequest{Path: path}, &sr); err != nil {
+				fmt.Println("load failed:", err)
+			} else {
+				fmt.Printf("synopsis loaded server-side: %d snippets\n", sr.Snippets)
+			}
+		case strings.HasPrefix(line, `\exact `):
+			remoteQuery(hc, base, session, strings.TrimPrefix(line, `\exact `), true)
+		default:
+			remoteQuery(hc, base, session, line, false)
+		}
+	}
+}
+
+func remoteQuery(hc *http.Client, base, session, sql string, exact bool) {
+	var qr server.QueryResponse
+	req := server.QueryRequest{SQL: sql, Session: session, Exact: exact}
+	if err := postJSON(hc, base+"/query", req, &qr); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if !qr.Supported {
+		fmt.Printf("unsupported query (bypassing learning): %s\n", strings.Join(qr.Reasons, "; "))
+		return
+	}
+	for _, row := range qr.Rows {
+		var parts []string
+		for _, g := range row.Group {
+			if g.Str != "" {
+				parts = append(parts, g.Str)
+			} else {
+				parts = append(parts, fmt.Sprintf("%g", g.Num))
+			}
+		}
+		for _, c := range row.Cells {
+			cell := fmt.Sprintf("%s = %.4g ± %.3g", c.Agg, c.Value, c.ErrBound)
+			if c.UsedModel {
+				cell += " (learned)"
+			}
+			if exact {
+				cell += fmt.Sprintf(" [exact %.4g, raw %.4g]", c.Exact, c.RawValue)
+			}
+			parts = append(parts, cell)
+		}
+		fmt.Println("  " + strings.Join(parts, " | "))
+	}
+	fmt.Printf("  epoch %d (%d base rows), simulated AQP latency %.1fms, verdict overhead %.0fµs\n",
+		qr.Epoch, qr.BaseRows, qr.SimTimeMS, qr.OverheadUS)
+}
+
+func printServerStats(st server.StatsResponse) {
+	fmt.Printf("table %s: %d rows (%d sampled), epoch %d\n",
+		st.Table.Name, st.Table.BaseRows, st.Table.SampleRows, st.Table.Epoch)
+	fmt.Printf("queries: %d total, %d aggregate, %d supported; snippets: %d; improved: %d\n",
+		st.System.Total, st.System.Aggregate, st.System.Supported, st.System.Snippets, st.System.Improved)
+	fmt.Printf("appends: %d batches, %d rows\n", st.System.Appends, st.System.AppendRows)
+	fmt.Printf("synopsis: %d snippets across %d functions, ~%.1f KB\n",
+		st.Synopsis.Snippets, st.Synopsis.Functions, float64(st.Synopsis.Footprint)/1024)
+	fmt.Printf("server: %d sessions, %d served, %d shed, up %.0fs\n",
+		st.Server.Sessions, st.Server.Served, st.Server.Rejected, float64(st.Server.UptimeMS)/1000)
+	for _, s := range st.Sessions {
+		fmt.Printf("  session %-12s queries=%-5d appends=%d\n", s.ID, s.Queries, s.Appends)
+	}
+}
+
+func postJSON(hc *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	return decodeResponse(r, resp)
+}
+
+func getJSON(hc *http.Client, url string, resp any) error {
+	r, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	return decodeResponse(r, resp)
+}
+
+func decodeResponse(r *http.Response, resp any) error {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (HTTP %d)", e.Error, r.StatusCode)
+		}
+		return fmt.Errorf("HTTP %d: %s", r.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, resp)
+}

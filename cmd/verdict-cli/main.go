@@ -7,15 +7,20 @@
 //
 //	verdict-cli -dataset customer1 -rows 50000
 //	verdict-cli -dataset tpch -rows 100000 -fraction 0.2
+//	verdict-cli -connect localhost:8765        # drive a running verdict-server
 //
 // Meta commands inside the shell:
 //
 //	\train       learn correlation parameters from the synopsis
 //	\stats       show synopsis and workload statistics
 //	\exact SQL   also compute the exact answer for comparison
+//	\append N    stream N freshly generated rows into the served relation
 //	\save PATH   persist the synopsis and learned parameters
 //	\load PATH   restore a synopsis saved against the same dataset+seed
 //	\quit        exit
+//
+// In -connect mode every command is forwarded to the server, so many shells
+// can share (and jointly improve) one synopsis.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/aqp"
@@ -38,8 +44,14 @@ func main() {
 		rows     = flag.Int("rows", 50000, "base relation rows")
 		fraction = flag.Float64("fraction", 0.2, "offline sample fraction")
 		seed     = flag.Int64("seed", 1, "random seed")
+		connect  = flag.String("connect", "", "host:port of a running verdict-server (client mode)")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		runClient(*connect)
+		return
+	}
 
 	table, err := buildTable(*dataset, *rows, *seed)
 	if err != nil {
@@ -56,8 +68,9 @@ func main() {
 	fmt.Printf("verdict-cli — %s (%d rows, %.0f%% sample). Table: %s\n",
 		*dataset, table.Rows(), *fraction*100, table.Name())
 	fmt.Printf("columns: %s\n", strings.Join(table.Schema().Names(), ", "))
-	fmt.Println(`type SQL (single line), or \train, \stats, \quit`)
+	fmt.Println(`type SQL (single line), or \train, \stats, \append N, \quit`)
 
+	appendSeed := *seed + 1000
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -79,11 +92,33 @@ func main() {
 					sys.Verdict().SnippetCount(), len(sys.Verdict().FuncIDs()))
 			}
 		case line == `\stats`:
-			st := sys.Stats
+			st := sys.StatsSnapshot()
 			fmt.Printf("queries: %d total, %d aggregate, %d supported; snippets: %d; improved: %d\n",
 				st.Total, st.Aggregate, st.Supported, st.Snippets, st.Improved)
+			fmt.Printf("appends: %d batches, %d rows; base relation now %d rows\n",
+				st.Appends, st.AppendRows, sys.Engine().Acquire().BaseRows)
 			fmt.Printf("synopsis: %d snippets, ~%.1f KB\n",
 				sys.Verdict().SnippetCount(), float64(sys.Verdict().FootprintBytes())/1024)
+		case strings.HasPrefix(line, `\append`):
+			n, err := parseAppendCount(line)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			appendSeed++
+			batch, err := buildTable(*dataset, n, appendSeed)
+			if err != nil {
+				fmt.Println("generating batch:", err)
+				continue
+			}
+			sampled, err := sys.Append(batch)
+			if err != nil {
+				fmt.Println("append failed:", err)
+				continue
+			}
+			view := sys.Engine().Acquire()
+			fmt.Printf("appended %d rows (%d sampled); base now %d rows, sample %d, epoch %d\n",
+				n, sampled, view.BaseRows, view.SampleRows, view.Epoch)
 		case strings.HasPrefix(line, `\exact `):
 			runQuery(sys, strings.TrimPrefix(line, `\exact `), true)
 		case strings.HasPrefix(line, `\save `):
@@ -95,17 +130,28 @@ func main() {
 			}
 		case strings.HasPrefix(line, `\load `):
 			path := strings.TrimSpace(strings.TrimPrefix(line, `\load `))
-			loaded, err := loadSynopsis(sys, path)
-			if err != nil {
+			if err := loadSynopsis(sys, path); err != nil {
 				fmt.Println("load failed:", err)
 			} else {
-				sys = loaded
 				fmt.Printf("synopsis loaded: %d snippets\n", sys.Verdict().SnippetCount())
 			}
 		default:
 			runQuery(sys, line, false)
 		}
 	}
+}
+
+// parseAppendCount parses "\append N" (default 1000 rows).
+func parseAppendCount(line string) (int, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, `\append`))
+	if rest == "" {
+		return 1000, nil
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf(`usage: \append N  (N > 0 rows to generate and stream in)`)
+	}
+	return n, nil
 }
 
 func saveSynopsis(sys *core.System, path string) error {
@@ -117,15 +163,15 @@ func saveSynopsis(sys *core.System, path string) error {
 	return sys.Verdict().Save(f)
 }
 
-// loadSynopsis builds a fresh System whose Verdict is restored from the
-// snapshot; the engine and sample are reused.
-func loadSynopsis(sys *core.System, path string) (*core.System, error) {
+// loadSynopsis restores the synopsis in place; the engine and sample are
+// reused and in-flight state is unaffected.
+func loadSynopsis(sys *core.System, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	return core.NewSystemWithVerdict(sys.Engine(), f)
+	return sys.LoadSynopsis(f)
 }
 
 func buildTable(dataset string, rows int, seed int64) (*storage.Table, error) {

@@ -1,0 +1,100 @@
+// Command verdict-server runs the concurrent serving layer: a long-running
+// multi-session SQL service over one shared Verdict pipeline. N clients
+// query and stream appends against a single synopsis, so the system gets
+// smarter with every query any of them issues.
+//
+// Usage:
+//
+//	verdict-server -addr :8765 -dataset customer1 -rows 100000
+//	verdict-server -dataset tpch -rows 200000 -fraction 0.1 -max-inflight 32
+//
+// Endpoints (JSON over HTTP):
+//
+//	POST /query  {"sql": "...", "session": "alice", "exact": false, "budget_ms": 0}
+//	POST /append {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
+//	POST /train  {}
+//	GET  /stats
+//	POST /save   {"path": "synopsis.json"}   (file name inside -snapshot-dir)
+//	POST /load   {"path": "synopsis.json"}
+//
+// Drive it interactively with: verdict-cli -connect localhost:8765
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8765", "listen address")
+		dataset   = flag.String("dataset", "customer1", "customer1 | tpch | synthetic")
+		rows      = flag.Int("rows", 100000, "base relation rows")
+		fraction  = flag.Float64("fraction", 0.2, "offline sample fraction")
+		seed      = flag.Int64("seed", 1, "random seed")
+		inflight  = flag.Int("max-inflight", 16, "bounded worker pool size (admission control)")
+		queueWait = flag.Duration("queue-wait", 2*time.Second, "max wait for a worker slot before 503")
+		snapDir   = flag.String("snapshot-dir", "", "directory for /save and /load synopsis snapshots (empty disables them)")
+	)
+	flag.Parse()
+
+	table, err := buildTable(*dataset, *rows, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sample, err := aqp.BuildSample(table, *fraction, 0, *seed+1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{})
+
+	srv := server.New(sys, server.Config{
+		MaxInFlight: *inflight,
+		QueueWait:   *queueWait,
+		SnapshotDir: *snapDir,
+		Generate: func(n int, genSeed int64) (*storage.Table, error) {
+			return buildTable(*dataset, n, genSeed)
+		},
+	})
+
+	log.Printf("verdict-server on %s — %s (%d rows, %.0f%% sample, %d worker slots)",
+		*addr, *dataset, table.Rows(), *fraction*100, *inflight)
+	log.Printf("columns: %s", strings.Join(table.Schema().Names(), ", "))
+	log.Printf("endpoints: POST /query /append /train /save /load, GET /stats")
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildTable(dataset string, rows int, seed int64) (*storage.Table, error) {
+	switch dataset {
+	case "customer1":
+		return workload.GenerateCustomer1(rows, seed)
+	case "tpch":
+		return workload.GenerateTPCH(rows, seed)
+	case "synthetic":
+		spec := workload.DefaultSyntheticSpec()
+		spec.Rows = rows
+		spec.Seed = seed
+		syn, err := workload.GenerateSynthetic(spec)
+		if err != nil {
+			return nil, err
+		}
+		return syn.Table, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (customer1|tpch|synthetic)", dataset)
+	}
+}

@@ -1,9 +1,9 @@
 package aqp
 
 import (
-	"fmt"
 	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mathx"
@@ -15,11 +15,21 @@ import (
 // uniform sample and reports raw answers with CLT-based expected errors —
 // exactly the (θ, β) contract §3.1 assumes, where β² is the expectation of
 // the squared deviation of θ from the exact answer.
+//
+// The engine is safe for concurrent use: every read path runs against a
+// published immutable View (see view.go), and Append serializes writers
+// while queries keep scanning the stable prefix they pinned.
 type Engine struct {
 	base   *storage.Table
 	sample *Sample
 	cost   CostModel
 	mode   ScanMode
+
+	// wmu serializes writers (Append) and view publication; view caches the
+	// current snapshot, republished whenever a table epoch moves.
+	wmu       sync.Mutex
+	view      atomic.Pointer[View]
+	viewEpoch atomic.Uint64
 }
 
 // NewEngine wires a base relation, its offline sample and a cost model. The
@@ -30,26 +40,22 @@ func NewEngine(base *storage.Table, sample *Sample, cost CostModel) *Engine {
 }
 
 // SetScanMode switches between the vectorized block scan (default) and the
-// legacy row-at-a-time scan (baseline/ablation).
-func (e *Engine) SetScanMode(m ScanMode) { e.mode = m }
+// legacy row-at-a-time scan (baseline/ablation). Not safe to call while
+// queries are in flight.
+func (e *Engine) SetScanMode(m ScanMode) {
+	e.mode = m
+	e.view.Store(nil) // republish with the new mode on next Acquire
+}
 
 // ScanMode returns the active scan implementation.
 func (e *Engine) ScanMode() ScanMode { return e.mode }
 
-// scan feeds rows [start, end) of data into the accumulators using the
-// configured implementation.
-func (e *Engine) scan(data *storage.Table, accs []*accumulator, start, end int) {
-	if e.mode == ScanRowAtATime {
-		scanRows(data, accs, start, end)
-		return
-	}
-	scanVectorized(data, accs, start, end)
-}
-
-// Base returns the underlying relation.
+// Base returns the underlying live relation. Concurrent consumers should
+// prefer Acquire().Base.
 func (e *Engine) Base() *storage.Table { return e.base }
 
-// Sample returns the offline sample.
+// Sample returns the live offline sample. Concurrent consumers should
+// prefer Acquire().Sample.
 func (e *Engine) Sample() *Sample { return e.sample }
 
 // Cost returns the engine's cost model.
@@ -148,69 +154,22 @@ type BatchUpdate struct {
 	Batch int
 }
 
-// OnlineAggregate processes the sample batch by batch, invoking yield after
-// every batch with refreshed estimates — the online-aggregation interface
-// of §7 (deployment scenario 1). Iteration stops early when yield returns
-// false ("users are satisfied with the current accuracy") or when the
-// sample is exhausted.
+// OnlineAggregate processes the sample batch by batch against the current
+// view, invoking yield after every batch with refreshed estimates — the
+// online-aggregation interface of §7 (deployment scenario 1).
 func (e *Engine) OnlineAggregate(snips []*query.Snippet, yield func(BatchUpdate) bool) {
-	accs := make([]*accumulator, len(snips))
-	for i, sn := range snips {
-		accs[i] = &accumulator{sn: sn, baseRows: e.sample.BaseRows}
-	}
-	data := e.sample.Data
-	for b := 0; b < e.sample.Batches(); b++ {
-		start, end := e.sample.BatchBounds(b)
-		e.scan(data, accs, start, end)
-		upd := BatchUpdate{
-			Estimates:   make([]query.ScalarEstimate, len(accs)),
-			Valid:       make([]bool, len(accs)),
-			RowsScanned: end,
-			SimTime:     e.cost.QueryTime(end),
-			Batch:       b,
-		}
-		for i, a := range accs {
-			upd.Estimates[i], upd.Valid[i] = a.estimate()
-		}
-		if !yield(upd) {
-			return
-		}
-	}
+	e.Acquire().OnlineAggregate(snips, yield)
 }
 
 // RunToCompletion consumes the whole sample and returns the final update.
 func (e *Engine) RunToCompletion(snips []*query.Snippet) BatchUpdate {
-	var last BatchUpdate
-	e.OnlineAggregate(snips, func(u BatchUpdate) bool {
-		last = u
-		return true
-	})
-	return last
+	return e.Acquire().RunToCompletion(snips)
 }
 
-// TimeBound evaluates the snippets within a simulated time budget,
-// predicting the largest scannable prefix from the cost model (§7,
-// deployment scenario 2, and Appendix C.2's NoLearn).
+// TimeBound evaluates the snippets within a simulated time budget against
+// the current view (§7, deployment scenario 2, and Appendix C.2's NoLearn).
 func (e *Engine) TimeBound(snips []*query.Snippet, budget time.Duration) BatchUpdate {
-	rows := e.cost.RowsWithin(budget)
-	if rows > e.sample.Data.Rows() {
-		rows = e.sample.Data.Rows()
-	}
-	accs := make([]*accumulator, len(snips))
-	for i, sn := range snips {
-		accs[i] = &accumulator{sn: sn, baseRows: e.sample.BaseRows}
-	}
-	e.scan(e.sample.Data, accs, 0, rows)
-	upd := BatchUpdate{
-		Estimates:   make([]query.ScalarEstimate, len(accs)),
-		Valid:       make([]bool, len(accs)),
-		RowsScanned: rows,
-		SimTime:     e.cost.QueryTime(rows),
-	}
-	for i, a := range accs {
-		upd.Estimates[i], upd.Valid[i] = a.estimate()
-	}
-	return upd
+	return e.Acquire().TimeBound(snips, budget)
 }
 
 // parallelThreshold is the snippet count past which the row-at-a-time scan
@@ -226,53 +185,14 @@ const parallelThreshold = 8
 // mean is the matching fraction and an AVG accumulator's mean is the
 // matched-value mean, which is exactly the definition of θ̄.
 func (e *Engine) Exact(sn *query.Snippet) float64 {
-	if e.base.Rows() == 0 {
-		return 0
-	}
-	acc := &accumulator{sn: sn}
-	scanVectorized(e.base, []*accumulator{acc}, 0, e.base.Rows())
-	return acc.moments.Mean()
+	return e.Acquire().Exact(sn)
 }
 
 // GroupRows discovers the distinct group values of a grouped statement by
 // scanning the sample (ordered for determinism). It returns one empty group
 // for ungrouped statements.
 func (e *Engine) GroupRows(groupCols []int, region *query.Region) ([][]query.GroupValue, error) {
-	if len(groupCols) == 0 {
-		return [][]query.GroupValue{nil}, nil
-	}
-	t := e.sample.Data
-	seen := map[string][]query.GroupValue{}
-	var keys []string
-	for row := 0; row < t.Rows(); row++ {
-		if region != nil && !region.Matches(t, row) {
-			continue
-		}
-		key := ""
-		gvs := make([]query.GroupValue, len(groupCols))
-		for i, col := range groupCols {
-			def := t.Schema().Col(col)
-			if def.Kind == storage.Categorical {
-				v := t.StrAt(row, col)
-				gvs[i] = query.GroupValue{Col: col, Str: v}
-				key += "|" + v
-			} else {
-				v := t.NumAt(row, col)
-				gvs[i] = query.GroupValue{Col: col, Num: v}
-				key += "|" + fmt.Sprintf("%g", v)
-			}
-		}
-		if _, ok := seen[key]; !ok {
-			seen[key] = gvs
-			keys = append(keys, key)
-		}
-	}
-	sort.Strings(keys)
-	out := make([][]query.GroupValue, len(keys))
-	for i, k := range keys {
-		out[i] = seen[k]
-	}
-	return out, nil
+	return e.Acquire().GroupRows(groupCols, region)
 }
 
 // AnswerCache implements the paper's Baseline2 (Appendix C.1): it memoizes

@@ -203,7 +203,7 @@ func (s *blockScanner) scanRange(data *storage.Table, metas []snipMeta, b0, b1, 
 			match := len(sel)
 			if m.kind == query.FreqAgg {
 				p.moments.AddWeighted(1, int64(match))
-				p.moments.AddZeros(int64(rows-match))
+				p.moments.AddZeros(int64(rows - match))
 				continue
 			}
 			if match == 0 {

@@ -1,0 +1,279 @@
+package aqp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// Snapshot-isolated serving. A View is an immutable, internally consistent
+// snapshot of everything one query evaluation reads: the base relation and
+// the sample at a stable row count, plus the cost model and scan mode in
+// force when it was acquired. Scans against a View take no locks, so any
+// number of queries can run while Engine.Append lands new rows behind them;
+// a query pinned to a View observes exactly the prefix that existed when
+// the View was published, and never a torn mid-append state.
+//
+// Views are cheap: column data is shared with the live tables (appends only
+// write past the captured lengths) and only the small per-block zone maps
+// are copied. The engine caches the current View and republishes it when
+// the table epochs move, so the steady-state Acquire is two atomic loads.
+
+// View is a consistent snapshot of the engine's data and configuration.
+type View struct {
+	// Base is a frozen snapshot of the base relation.
+	Base *storage.Table
+	// Sample wraps a frozen snapshot of the sample data; its BaseRows is
+	// the base cardinality captured at the same instant.
+	Sample *Sample
+	// Epoch is a monotone publication counter (0 for replay views built by
+	// ViewAt). BaseRows/SampleRows identify the snapshot prefix and are all
+	// a serial replay needs to reconstruct this view later.
+	Epoch      uint64
+	BaseRows   int
+	SampleRows int
+
+	baseEpoch   uint64
+	sampleEpoch uint64
+	cost        CostModel
+	mode        ScanMode
+}
+
+// scan feeds rows [start, end) of data into the accumulators using the
+// view's scan mode.
+func (v *View) scan(data *storage.Table, accs []*accumulator, start, end int) {
+	if v.mode == ScanRowAtATime {
+		scanRows(data, accs, start, end)
+		return
+	}
+	scanVectorized(data, accs, start, end)
+}
+
+// OnlineAggregate processes the sample batch by batch, invoking yield after
+// every batch with refreshed estimates — the online-aggregation interface
+// of §7 (deployment scenario 1). Iteration stops early when yield returns
+// false ("users are satisfied with the current accuracy") or when the
+// sample is exhausted.
+func (v *View) OnlineAggregate(snips []*query.Snippet, yield func(BatchUpdate) bool) {
+	accs := make([]*accumulator, len(snips))
+	for i, sn := range snips {
+		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
+	}
+	data := v.Sample.Data
+	for b := 0; b < v.Sample.Batches(); b++ {
+		start, end := v.Sample.BatchBounds(b)
+		v.scan(data, accs, start, end)
+		upd := BatchUpdate{
+			Estimates:   make([]query.ScalarEstimate, len(accs)),
+			Valid:       make([]bool, len(accs)),
+			RowsScanned: end,
+			SimTime:     v.cost.QueryTime(end),
+			Batch:       b,
+		}
+		for i, a := range accs {
+			upd.Estimates[i], upd.Valid[i] = a.estimate()
+		}
+		if !yield(upd) {
+			return
+		}
+	}
+}
+
+// RunToCompletion consumes the whole sample and returns the final update.
+func (v *View) RunToCompletion(snips []*query.Snippet) BatchUpdate {
+	var last BatchUpdate
+	v.OnlineAggregate(snips, func(u BatchUpdate) bool {
+		last = u
+		return true
+	})
+	return last
+}
+
+// TimeBound evaluates the snippets within a simulated time budget,
+// predicting the largest scannable prefix from the cost model (§7,
+// deployment scenario 2, and Appendix C.2's NoLearn).
+func (v *View) TimeBound(snips []*query.Snippet, budget time.Duration) BatchUpdate {
+	rows := v.cost.RowsWithin(budget)
+	if rows > v.Sample.Data.Rows() {
+		rows = v.Sample.Data.Rows()
+	}
+	accs := make([]*accumulator, len(snips))
+	for i, sn := range snips {
+		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
+	}
+	v.scan(v.Sample.Data, accs, 0, rows)
+	upd := BatchUpdate{
+		Estimates:   make([]query.ScalarEstimate, len(accs)),
+		Valid:       make([]bool, len(accs)),
+		RowsScanned: rows,
+		SimTime:     v.cost.QueryTime(rows),
+	}
+	for i, a := range accs {
+		upd.Estimates[i], upd.Valid[i] = a.estimate()
+	}
+	return upd
+}
+
+// Exact computes the snippet's exact answer on the view's base relation —
+// the ground truth θ̄ experiments compare against. It always uses the
+// vectorized block pipeline so the ground truth is scan-mode-independent.
+func (v *View) Exact(sn *query.Snippet) float64 {
+	if v.Base.Rows() == 0 {
+		return 0
+	}
+	acc := &accumulator{sn: sn}
+	scanVectorized(v.Base, []*accumulator{acc}, 0, v.Base.Rows())
+	return acc.moments.Mean()
+}
+
+// GroupRows discovers the distinct group values of a grouped statement by
+// scanning the sample (ordered for determinism). It returns one empty group
+// for ungrouped statements.
+func (v *View) GroupRows(groupCols []int, region *query.Region) ([][]query.GroupValue, error) {
+	if len(groupCols) == 0 {
+		return [][]query.GroupValue{nil}, nil
+	}
+	t := v.Sample.Data
+	seen := map[string][]query.GroupValue{}
+	var keys []string
+	for row := 0; row < t.Rows(); row++ {
+		if region != nil && !region.Matches(t, row) {
+			continue
+		}
+		key := ""
+		gvs := make([]query.GroupValue, len(groupCols))
+		for i, col := range groupCols {
+			def := t.Schema().Col(col)
+			if def.Kind == storage.Categorical {
+				s := t.StrAt(row, col)
+				gvs[i] = query.GroupValue{Col: col, Str: s}
+				key += "|" + s
+			} else {
+				n := t.NumAt(row, col)
+				gvs[i] = query.GroupValue{Col: col, Num: n}
+				key += "|" + fmt.Sprintf("%g", n)
+			}
+		}
+		if _, ok := seen[key]; !ok {
+			seen[key] = gvs
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([][]query.GroupValue, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+// Acquire returns the current published view, rebuilding it only when an
+// append has moved a table epoch since the last publication. The fast path
+// is lock-free.
+func (e *Engine) Acquire() *View {
+	if v := e.view.Load(); v != nil &&
+		v.baseEpoch == e.base.Epoch() &&
+		v.sampleEpoch == e.sample.Data.Epoch() &&
+		v.mode == e.mode {
+		return v
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.publishLocked()
+}
+
+// publishLocked snapshots the live tables and stores the new view. Caller
+// holds e.wmu, so the base/sample/BaseRows triple is coherent.
+func (e *Engine) publishLocked() *View {
+	if v := e.view.Load(); v != nil &&
+		v.baseEpoch == e.base.Epoch() &&
+		v.sampleEpoch == e.sample.Data.Epoch() &&
+		v.mode == e.mode {
+		return v
+	}
+	base := e.base.Snapshot()
+	data := e.sample.Data.Snapshot()
+	smp := *e.sample
+	smp.Data = data
+	smp.BaseRows = base.Rows()
+	v := &View{
+		Base:        base,
+		Sample:      &smp,
+		Epoch:       e.viewEpoch.Add(1),
+		BaseRows:    base.Rows(),
+		SampleRows:  data.Rows(),
+		baseEpoch:   base.Epoch(),
+		sampleEpoch: data.Epoch(),
+		cost:        e.cost,
+		mode:        e.mode,
+	}
+	e.view.Store(v)
+	return v
+}
+
+// ViewAt reconstructs the view that served a past query from its recorded
+// (BaseRows, SampleRows) prefix — tables are append-only, so the prefix
+// snapshot taken now is row-for-row identical to the historical one. Serial
+// replays use it to audit answers produced under concurrency.
+func (e *Engine) ViewAt(baseRows, sampleRows int) *View {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	base := e.base.SnapshotAt(baseRows)
+	data := e.sample.Data.SnapshotAt(sampleRows)
+	smp := *e.sample
+	smp.Data = data
+	smp.BaseRows = base.Rows()
+	return &View{
+		Base:        base,
+		Sample:      &smp,
+		BaseRows:    base.Rows(),
+		SampleRows:  data.Rows(),
+		baseEpoch:   base.Epoch(),
+		sampleEpoch: data.Epoch(),
+		cost:        e.cost,
+		mode:        e.mode,
+	}
+}
+
+// Append lands a batch of new rows: the base relation grows, a uniform
+// subsample of the batch (at the engine's sampling fraction) extends the
+// sample, and a fresh view is published. Concurrent queries pinned to older
+// views are unaffected — they keep scanning their stable prefix. The batch
+// may be built against its own Schema as long as column names and kinds
+// match (AppendByName semantics). Returns how many batch rows entered the
+// sample.
+//
+// New sampled rows land at the sample's tail, so the combined sample is a
+// per-batch stratified uniform sample of the grown relation (each stratum
+// drawn at the same fraction): full-sample estimates stay unbiased, while
+// short online-aggregation prefixes skew toward older data until the next
+// offline rebuild.
+func (e *Engine) Append(batch *storage.Table, seed int64) (sampled int, err error) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if batch.Rows() == 0 {
+		return 0, nil
+	}
+	if err := e.base.AppendByName(batch); err != nil {
+		return 0, err
+	}
+	k := int(float64(batch.Rows())*e.sample.Fraction + 0.5)
+	if k > batch.Rows() {
+		k = batch.Rows()
+	}
+	if k > 0 {
+		idx := randx.New(seed).Perm(batch.Rows())[:k]
+		sort.Ints(idx) // deterministic order independent of Perm internals
+		sub := batch.SelectRows(batch.Name()+"_sampled", idx)
+		if err := e.sample.Data.AppendByName(sub); err != nil {
+			return 0, err
+		}
+	}
+	e.sample.BaseRows = e.base.Rows()
+	e.publishLocked()
+	return k, nil
+}

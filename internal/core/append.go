@@ -107,10 +107,18 @@ func bucketMeans(t *storage.Table, measure func(*storage.Table, int) float64, bu
 // oldRows and appendedRows are |r| and |r^a|. The covariance factorization
 // is invalidated (β changed on the diagonal); the next inference rebuilds.
 func (v *Verdict) ApplyAppend(id query.FuncID, drift Drift, oldRows, appendedRows int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.applyAppendLocked(id, drift, oldRows, appendedRows)
+}
+
+func (v *Verdict) applyAppendLocked(id query.FuncID, drift Drift, oldRows, appendedRows int) {
 	m, ok := v.models[id]
 	if !ok {
 		return
 	}
+	m.mutated()
+	m.detachEntries() // copy-on-write: published snapshots keep the old θ, β
 	ratio := float64(appendedRows) / float64(oldRows+appendedRows)
 	eta := math.Sqrt(math.Max(drift.Eta2, 0))
 	for i := range m.entries {
@@ -128,6 +136,16 @@ func (v *Verdict) ApplyAppend(id query.FuncID, drift Drift, oldRows, appendedRow
 // adjustment. FREQ models receive only the cardinality-driven adjustment
 // (μ=0) unless the caller supplies explicit drift via ApplyAppend.
 func (v *Verdict) OnAppend(old, appended *storage.Table, seed int64) {
+	v.OnAppendSampled(old, appended, old.Rows(), appended.Rows(), seed)
+}
+
+// OnAppendSampled is OnAppend for callers whose old/appended tables are
+// merely samples of r and r^a: drift is estimated from the samples, while
+// Lemma 3's cardinality ratio uses the true |r| and |r^a|. The serving
+// layer uses the pre-append AQP sample as the sample of r.
+func (v *Verdict) OnAppendSampled(oldSample, appendedSample *storage.Table, oldRows, appendedRows int, seed int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for _, id := range v.order {
 		m := v.models[id]
 		if len(m.entries) == 0 {
@@ -137,9 +155,9 @@ func (v *Verdict) OnAppend(old, appended *storage.Table, seed int64) {
 		if id.Kind == query.AvgAgg {
 			measure := m.entries[0].sn.Measure
 			if measure != nil {
-				d = EstimateDrift(old, appended, measure, 20, seed)
+				d = EstimateDrift(oldSample, appendedSample, measure, 20, seed)
 			}
 		}
-		v.ApplyAppend(id, d, old.Rows(), appended.Rows())
+		v.applyAppendLocked(id, d, oldRows, appendedRows)
 	}
 }

@@ -29,7 +29,7 @@ type Improved struct {
 	Gamma2 float64
 }
 
-// infer computes the improved answer for a new snippet given its raw
+// inferOn computes the improved answer for a new snippet given its raw
 // (θ_{n+1}, β_{n+1}), using the block forms of Eq. 11–12:
 //
 //	γ² = κ̄² − kᵀ Σ_n⁻¹ k
@@ -38,33 +38,38 @@ type Improved struct {
 //	β̈² = β²·γ² / (β² + γ²)
 //
 // followed by Appendix B's model validation. Both steps cost O(n²).
-func (m *model) infer(sn *query.Snippet, raw query.ScalarEstimate, cfg Config) Improved {
+//
+// It reads only the immutable published inferState, so any number of
+// sessions can infer concurrently while the single writer records into the
+// master synopsis and republishes.
+func inferOn(st *inferState, sn *query.Snippet, raw query.ScalarEstimate, cfg Config) Improved {
 	out := Improved{
 		Answer:      raw.Value,
 		Err:         raw.StdErr,
 		ModelAnswer: raw.Value,
 		ModelErr:    raw.StdErr,
 	}
-	if len(m.entries) == 0 {
+	if st == nil || len(st.entries) == 0 {
 		return out // empty synopsis: Theorem 1's equality case
 	}
-	if err := m.ensureTrained(); err != nil {
-		return out
+	if st.chol == nil || st.chol.Size() != len(st.entries) {
+		return out // factorization unavailable (degenerate Σ): raw passthrough
 	}
 
-	n := len(m.entries)
+	n := len(st.entries)
 	k := make([]float64, n)
 	resid := make([]float64, n)
-	mu := m.mu()
-	for i, e := range m.entries {
-		k[i] = kernel.Covariance(e.sn, sn, m.params)
+	mu := st.mu
+	for i := range st.entries {
+		e := &st.entries[i]
+		k[i] = kernel.Covariance(e.sn, sn, st.params)
 		resid[i] = e.theta - kernel.PriorMean(e.sn, mu)
 	}
 	// Prior variance of θ̄_{n+1}: kernel self-covariance plus the
 	// finite-population nugget the engine reported for this snippet.
-	kappa2 := kernel.Variance(sn, m.params) + raw.PopErr*raw.PopErr
+	kappa2 := kernel.Variance(sn, st.params) + raw.PopErr*raw.PopErr
 
-	w, err := m.chol.Solve(k)
+	w, err := st.chol.Solve(k)
 	if err != nil {
 		return out
 	}
@@ -92,7 +97,7 @@ func (m *model) infer(sn *query.Snippet, raw query.ScalarEstimate, cfg Config) I
 		out.ModelErr = math.Sqrt(beta2 * gamma2 / denom)
 	}
 
-	if cfg.DisableValidation || m.validate(sn, raw, out, cfg) {
+	if cfg.DisableValidation || validate(sn, raw, out, cfg) {
 		out.Answer = out.ModelAnswer
 		out.Err = out.ModelErr
 		out.UsedModel = true
@@ -103,7 +108,7 @@ func (m *model) infer(sn *query.Snippet, raw query.ScalarEstimate, cfg Config) I
 // validate implements Appendix B: reject negative FREQ estimates, and
 // reject models whose likely region (θ̈ ± α_{δv}·β_raw) excludes the raw
 // answer.
-func (m *model) validate(sn *query.Snippet, raw query.ScalarEstimate, res Improved, cfg Config) bool {
+func validate(sn *query.Snippet, raw query.ScalarEstimate, res Improved, cfg Config) bool {
 	if sn.Kind == query.FreqAgg && res.ModelAnswer < 0 {
 		return false
 	}

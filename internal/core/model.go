@@ -28,6 +28,13 @@ func (e *entry) priorVar(p kernel.Params) float64 {
 // model holds the per-aggregate-function state: the synopsis slice (LRU
 // order, oldest first), the learned correlation parameters, and the
 // factorized covariance matrix Σ_n of past raw answers.
+//
+// Concurrency discipline: all mutators run under the owning Verdict's write
+// lock and are copy-on-write with respect to anything reachable from a
+// published inferState — entries are recopied before any in-place edit, the
+// Cholesky factor is persistent (record's Extend and rebuild both produce
+// fresh factors), and params handed to readers are cloned. Readers never
+// touch the model; they work from an inferState captured via publish.
 type model struct {
 	id      query.FuncID
 	cfg     Config
@@ -43,6 +50,52 @@ type model struct {
 	// obsMoments tracks the running mean/variance of observations, used
 	// for the prior mean μ and the analytic σ² (Appendix F.3).
 	obsMoments mathx.Moments
+
+	// published is the immutable snapshot concurrent Infer calls read;
+	// every mutator nils it and publish rebuilds it lazily (preserving the
+	// lazy-retrain behaviour record-heavy offline loops rely on).
+	published *inferState
+}
+
+// inferState is everything one inference reads, frozen at publication. The
+// entries slice is never modified in place after publication (mutators copy
+// first) and the factor/params are private to the snapshot, so any number
+// of goroutines may infer against it without synchronization.
+type inferState struct {
+	entries []entry
+	params  kernel.Params
+	chol    *linalg.Cholesky
+	mu      float64
+}
+
+// publish returns the current immutable inference snapshot, rebuilding the
+// factorization first if a mutation invalidated it (Algorithm 1's lazy
+// retrain). Caller holds the Verdict write lock.
+func (m *model) publish() *inferState {
+	if m.published != nil {
+		return m.published
+	}
+	// A failed rebuild (degenerate Σ) publishes with a nil factor: readers
+	// fall back to raw answers, matching the single-threaded behaviour.
+	_ = m.ensureTrained()
+	st := &inferState{
+		entries: m.entries,
+		params:  m.params.Clone(),
+		chol:    m.chol,
+		mu:      m.mu(),
+	}
+	m.published = st
+	return st
+}
+
+// mutated invalidates the published snapshot after any state change.
+func (m *model) mutated() { m.published = nil }
+
+// detachEntries gives the model a private copy of its entries slice so
+// in-place edits cannot reach a published inferState. O(n) with n ≤ C_g,
+// dwarfed by the O(n²) covariance maintenance every mutation already pays.
+func (m *model) detachEntries() {
+	m.entries = append([]entry(nil), m.entries...)
 }
 
 func newModel(id query.FuncID, cfg Config, params kernel.Params) *model {
@@ -108,9 +161,12 @@ func sigma2For(entries []entry, mu float64, p kernel.Params) float64 {
 // changes (replacement, eviction) invalidate the factorization instead,
 // and rebuild() restores it lazily.
 func (m *model) record(sn *query.Snippet, est query.ScalarEstimate) {
+	m.mutated()
 	key := sn.Key()
 	if i, ok := m.byKey[key]; ok {
-		// Repeated snippet: keep the lower-error answer, refresh recency.
+		// Repeated snippet: copy-on-write before the in-place refresh, then
+		// keep the lower-error answer and refresh recency.
+		m.detachEntries()
 		if est.StdErr < m.entries[i].beta {
 			m.entries[i].theta = est.Value
 			m.entries[i].beta = est.StdErr
@@ -145,8 +201,10 @@ func (m *model) record(sn *query.Snippet, est query.ScalarEstimate) {
 	m.obsMoments.Add(e.obs)
 }
 
-// touch moves entry i to the most-recent end.
+// touch moves entry i to the most-recent end. Copy-on-write: the in-place
+// shift must not reach entries shared with a published inferState.
 func (m *model) touch(i int) {
+	m.detachEntries()
 	e := m.entries[i]
 	m.entries = append(m.entries[:i], m.entries[i+1:]...)
 	m.entries = append(m.entries, e)

@@ -62,6 +62,8 @@ type rangeJSON struct {
 // factorizations are not stored; Load rebuilds them (Algorithm 1's offline
 // precomputation is cheap relative to reacquiring a query history).
 func (v *Verdict) Save(w io.Writer) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	snap := snapshotJSON{Version: snapshotVersion, Table: v.table.Name()}
 	schema := v.table.Schema()
 	for _, id := range v.order {

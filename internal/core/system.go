@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/aqp"
 	"repro/internal/query"
 	"repro/internal/sqlparse"
+	"repro/internal/storage"
 )
 
 // System wires the full runtime pipeline of Algorithm 2 around a black-box
@@ -15,13 +17,27 @@ import (
 // answers → infer improved answers → validate → record into the synopsis →
 // recompose user aggregates. Examples and the CLI consume this facade;
 // experiments mostly drive the snippet-level APIs directly.
+//
+// System is safe for concurrent use — it is the unit the serving layer
+// (internal/server) shares across sessions. Each query pins one immutable
+// engine view for its whole execution (snapshot isolation against streaming
+// appends), inference runs against Verdict's published model snapshots, and
+// the workload counters are mutex-guarded so /stats can be read live.
 type System struct {
-	engine  *aqp.Engine
-	verdict *Verdict
-	cfg     Config
+	engine *aqp.Engine
+	cfg    Config
 
+	vmu     sync.RWMutex // guards the verdict pointer (swapped by LoadSynopsis)
+	verdict *Verdict
+
+	statsMu sync.Mutex
 	// Stats accumulates workload counters for Table 3-style reporting.
+	// Concurrent readers must use StatsSnapshot; direct access remains for
+	// single-threaded callers.
 	Stats SystemStats
+
+	appendMu   sync.Mutex // serializes Append end-to-end (engine + synopsis)
+	appendSeed int64
 }
 
 // SystemStats counts processed queries by classification.
@@ -31,6 +47,8 @@ type SystemStats struct {
 	Supported   int
 	Improved    int // snippets whose model-based answer passed validation
 	Snippets    int
+	Appends     int   // streaming append batches applied
+	AppendRows  int   // rows landed by streaming appends
 	InferenceNS int64 // cumulative wall-clock inference+record overhead
 }
 
@@ -64,10 +82,67 @@ func NewSystemWithVerdict(engine *aqp.Engine, snapshot io.Reader) (*System, erro
 }
 
 // Verdict exposes the learning layer (training, parameter control).
-func (s *System) Verdict() *Verdict { return s.verdict }
+func (s *System) Verdict() *Verdict {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	return s.verdict
+}
+
+// LoadSynopsis restores the learning state from a snapshot, atomically
+// swapping the live Verdict; in-flight queries finish against the old one.
+func (s *System) LoadSynopsis(r io.Reader) error {
+	v, err := Load(r, s.engine.Base(), s.cfg)
+	if err != nil {
+		return err
+	}
+	s.vmu.Lock()
+	s.verdict = v
+	s.vmu.Unlock()
+	return nil
+}
 
 // Engine exposes the underlying AQP engine.
 func (s *System) Engine() *aqp.Engine { return s.engine }
+
+// StatsSnapshot returns a consistent copy of the workload counters; the
+// serving layer's /stats endpoint reads it while queries are in flight.
+func (s *System) StatsSnapshot() SystemStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.Stats
+}
+
+func (s *System) bumpStats(f func(*SystemStats)) {
+	s.statsMu.Lock()
+	f(&s.Stats)
+	s.statsMu.Unlock()
+}
+
+// Append lands a batch of new rows into the served relation: the engine
+// appends and re-samples under snapshot isolation (scans in flight keep
+// their stable prefix), then the synopsis is adjusted for drift per
+// Appendix D / Lemma 3 — using the pre-append sample as the "small sample
+// of r" and the batch itself as the sample of r^a. Returns how many batch
+// rows entered the AQP sample.
+func (s *System) Append(batch *storage.Table) (sampled int, err error) {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	oldView := s.engine.Acquire()
+	s.appendSeed++
+	seed := s.appendSeed
+	sampled, err = s.engine.Append(batch, seed)
+	if err != nil {
+		return 0, err
+	}
+	// Drift is estimated from the pre-append sample (the "small sample of
+	// r"); Lemma 3's ratio uses the true relation cardinalities.
+	s.Verdict().OnAppendSampled(oldView.Sample.Data, batch, oldView.BaseRows, batch.Rows(), seed)
+	s.bumpStats(func(st *SystemStats) {
+		st.Appends++
+		st.AppendRows += batch.Rows()
+	})
+	return sampled, nil
+}
 
 // AggregateCell is one user aggregate's answer in a result row.
 type AggregateCell struct {
@@ -97,41 +172,69 @@ type Result struct {
 	// wall-clock inference cost (the §8.5 quantity).
 	SimTime  time.Duration
 	Overhead time.Duration
+	// Epoch identifies the engine view that served this query (0 for replay
+	// views); BaseRows/SampleRows pin the snapshot prefix, so
+	// ExecuteView(engine.ViewAt(BaseRows, SampleRows), SQL) replays the
+	// identical scan even after further appends.
+	Epoch      uint64
+	BaseRows   int
+	SampleRows int
 }
 
 // Execute runs one SQL query through the full pipeline, consuming the
 // entire sample (online aggregation run to completion).
 func (s *System) Execute(sql string) (*Result, error) {
-	return s.execute(sql, 0)
+	return s.execute(s.engine.Acquire(), sql, 0, true)
 }
 
 // ExecuteTimeBound runs one SQL query under a simulated time budget.
 func (s *System) ExecuteTimeBound(sql string, budget time.Duration) (*Result, error) {
-	return s.execute(sql, budget)
+	return s.execute(s.engine.Acquire(), sql, budget, true)
 }
 
-func (s *System) execute(sql string, budget time.Duration) (*Result, error) {
+// ExecuteView runs one SQL query against an explicit engine view — the
+// serial-replay entry point concurrency tests use to audit answers served
+// under streaming appends. Replays are side-effect-free: nothing is
+// recorded into the synopsis and no workload counters move, so auditing a
+// system does not change it.
+func (s *System) ExecuteView(view *aqp.View, sql string) (*Result, error) {
+	return s.execute(view, sql, 0, false)
+}
+
+func (s *System) execute(view *aqp.View, sql string, budget time.Duration, record bool) (*Result, error) {
+	verdict := s.Verdict()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	s.Stats.Total++
 	sup := query.Check(stmt)
-	if sup.HasAggregate {
-		s.Stats.Aggregate++
+	if record {
+		s.bumpStats(func(st *SystemStats) {
+			st.Total++
+			if sup.HasAggregate {
+				st.Aggregate++
+			}
+		})
 	}
-	res := &Result{SQL: sql, Supported: sup.OK, Reasons: sup.Reasons}
+	res := &Result{
+		SQL: sql, Supported: sup.OK, Reasons: sup.Reasons,
+		Epoch: view.Epoch, BaseRows: view.BaseRows, SampleRows: view.SampleRows,
+	}
 	if !sup.OK {
 		// Unsupported: Verdict bypasses inference and returns raw answers
 		// untouched (§2.2); for this engine the raw path requires a
 		// supported shape anyway, so unsupported queries yield no rows.
 		return res, nil
 	}
-	table := s.engine.Base()
+	// The view's frozen base table is the query's whole world: snippets,
+	// domains and cardinalities all resolve against the same stable prefix.
+	table := view.Base
 	if stmt.Table != table.Name() && stmt.Table != "" {
 		return nil, fmt.Errorf("core: query targets %q, engine holds %q", stmt.Table, table.Name())
 	}
-	s.Stats.Supported++
+	if record {
+		s.bumpStats(func(st *SystemStats) { st.Supported++ })
+	}
 
 	// Discover the answer set's groups from the sample.
 	var groupCols []int
@@ -146,7 +249,7 @@ func (s *System) execute(sql string, budget time.Duration) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	groups, err := s.engine.GroupRows(groupCols, baseRegion)
+	groups, err := view.GroupRows(groupCols, baseRegion)
 	if err != nil {
 		return nil, err
 	}
@@ -163,13 +266,15 @@ func (s *System) execute(sql string, budget time.Duration) (*Result, error) {
 		offsets[i] = len(snips)
 		snips = append(snips, d.Snippets...)
 	}
-	s.Stats.Snippets += len(snips)
+	if record {
+		s.bumpStats(func(st *SystemStats) { st.Snippets += len(snips) })
+	}
 
 	var upd aqp.BatchUpdate
 	if budget > 0 {
-		upd = s.engine.TimeBound(snips, budget)
+		upd = view.TimeBound(snips, budget)
 	} else {
-		upd = s.engine.RunToCompletion(snips)
+		upd = view.RunToCompletion(snips)
 	}
 	res.SimTime = upd.SimTime
 
@@ -177,21 +282,27 @@ func (s *System) execute(sql string, budget time.Duration) (*Result, error) {
 	t0 := time.Now()
 	improved := make([]query.ScalarEstimate, len(snips))
 	usedModel := make([]bool, len(snips))
+	improvedCount := 0
 	for i, sn := range snips {
 		raw := aqp.Sanitize(upd.Estimates[i])
-		inf := s.verdict.Infer(sn, raw)
+		inf := verdict.Infer(sn, raw)
 		improved[i] = query.ScalarEstimate{Value: inf.Answer, StdErr: inf.Err}
 		usedModel[i] = inf.UsedModel
 		if inf.UsedModel {
-			s.Stats.Improved++
+			improvedCount++
 		}
-		if upd.Valid[i] {
-			s.verdict.Record(sn, raw)
+		if record && upd.Valid[i] {
+			verdict.Record(sn, raw)
 		}
 	}
 	overhead := time.Since(t0)
 	res.Overhead = overhead
-	s.Stats.InferenceNS += overhead.Nanoseconds()
+	if record {
+		s.bumpStats(func(st *SystemStats) {
+			st.Improved += improvedCount
+			st.InferenceNS += overhead.Nanoseconds()
+		})
+	}
 
 	// Recompose user aggregates per group row.
 	for i, d := range decs {
@@ -217,9 +328,11 @@ func (s *System) execute(sql string, budget time.Duration) (*Result, error) {
 }
 
 // ExecuteWithExact runs Execute and fills each cell's Exact field from the
-// base relation — the oracle experiments compare against.
+// base relation — the oracle experiments compare against. The exact scan
+// runs on the same pinned view as the approximate one.
 func (s *System) ExecuteWithExact(sql string) (*Result, error) {
-	res, err := s.Execute(sql)
+	view := s.engine.Acquire()
+	res, err := s.execute(view, sql, 0, true)
 	if err != nil || !res.Supported {
 		return res, err
 	}
@@ -227,7 +340,7 @@ func (s *System) ExecuteWithExact(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	table := s.engine.Base()
+	table := view.Base
 	for ri := range res.Rows {
 		groups := [][]query.GroupValue{res.Rows[ri].Group}
 		decs, err := query.Decompose(stmt, table, groups, s.cfg.Nmax)
@@ -237,7 +350,7 @@ func (s *System) ExecuteWithExact(sql string) (*Result, error) {
 		d := decs[0]
 		exact := make([]query.ScalarEstimate, len(d.Snippets))
 		for i, sn := range d.Snippets {
-			exact[i] = query.ScalarEstimate{Value: s.engine.Exact(sn)}
+			exact[i] = query.ScalarEstimate{Value: view.Exact(sn)}
 		}
 		for ci, ua := range d.Aggregates {
 			av, fr := pick(exact, 0, ua)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/query"
@@ -11,12 +12,21 @@ import (
 // Verdict is the learning layer of Figure 2: it owns one model per
 // aggregate function g, routes snippets to them, and exposes the offline
 // (Algorithm 1) and online (Algorithm 2) processes.
+//
+// Verdict is safe for concurrent use: Infer runs against an immutable
+// published per-model snapshot (lock-free after a brief read-locked
+// lookup), while the mutators — Record, Train, SetParams, OnAppend,
+// ApplyAppend — serialize on the write lock and republish. N serving
+// sessions therefore improve one shared synopsis without ever blocking each
+// other's inference on a writer's O(n²) maintenance.
 type Verdict struct {
-	table  *storage.Table
-	cfg    Config
+	table *storage.Table
+	cfg   Config
+	seed  int64
+
+	mu     sync.RWMutex
 	models map[query.FuncID]*model
 	order  []query.FuncID // deterministic iteration for Train/stats
-	seed   int64
 }
 
 // New creates a Verdict instance over the given base relation.
@@ -33,7 +43,7 @@ func New(table *storage.Table, cfg Config) *Verdict {
 func (v *Verdict) Config() Config { return v.cfg }
 
 // modelFor returns (creating if needed) the model of the snippet's
-// aggregate function.
+// aggregate function. Caller holds v.mu for writing.
 func (v *Verdict) modelFor(sn *query.Snippet) *model {
 	id := sn.Func()
 	m, ok := v.models[id]
@@ -48,25 +58,50 @@ func (v *Verdict) modelFor(sn *query.Snippet) *model {
 // Infer computes the improved answer/error for a new snippet given the AQP
 // engine's raw answer/error — one iteration of Algorithm 2's loop. It does
 // not modify the synopsis; call Record afterwards.
+//
+// Fast path: a read-locked lookup of the published snapshot, then lock-free
+// O(n²) inference. The write lock is taken only on the first inference
+// after a mutation (to lazily rebuild and republish, Algorithm 1's
+// precomputation) or for a never-seen aggregate function.
 func (v *Verdict) Infer(sn *query.Snippet, raw query.ScalarEstimate) Improved {
-	return v.modelFor(sn).infer(sn, raw, v.cfg)
+	id := sn.Func()
+	v.mu.RLock()
+	m := v.models[id]
+	var st *inferState
+	if m != nil {
+		st = m.published
+	}
+	v.mu.RUnlock()
+	if st == nil {
+		v.mu.Lock()
+		m = v.modelFor(sn)
+		st = m.publish()
+		v.mu.Unlock()
+	}
+	return inferOn(st, sn, raw, v.cfg)
 }
 
 // Record inserts (q, θ, β) into the query synopsis (Algorithm 2 line 6),
 // maintaining the per-function LRU quota and extending the covariance
-// factorization incrementally.
+// factorization incrementally. Record is the single-writer path: concurrent
+// calls serialize on the write lock.
 func (v *Verdict) Record(sn *query.Snippet, raw query.ScalarEstimate) {
+	v.mu.Lock()
 	v.modelFor(sn).record(sn, raw)
+	v.mu.Unlock()
 }
 
 // Train runs the offline process of Algorithm 1 for every aggregate
 // function: learn correlation parameters from the synopsis, then
 // precompute the covariance factorizations.
 func (v *Verdict) Train() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for _, id := range v.order {
 		m := v.models[id]
 		v.seed++
 		m.learn(v.seed)
+		m.mutated()
 		if err := m.rebuild(); err != nil {
 			return err
 		}
@@ -78,6 +113,8 @@ func (v *Verdict) Train() error {
 // bypassing learning — the knob Appendix B.2's model-validation experiment
 // (Figure 9) turns to inject deliberately wrong parameters.
 func (v *Verdict) SetParams(id query.FuncID, p kernel.Params) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	m, ok := v.models[id]
 	if !ok {
 		m = newModel(id, v.cfg, p)
@@ -87,10 +124,13 @@ func (v *Verdict) SetParams(id query.FuncID, p kernel.Params) {
 	m.params = p
 	m.paramsFixed = true
 	m.chol = nil
+	m.mutated()
 }
 
 // Params returns the current correlation parameters of one function.
 func (v *Verdict) Params(id query.FuncID) (kernel.Params, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	m, ok := v.models[id]
 	if !ok {
 		return kernel.Params{}, false
@@ -100,11 +140,15 @@ func (v *Verdict) Params(id query.FuncID) (kernel.Params, bool) {
 
 // FuncIDs lists the aggregate functions with models, in creation order.
 func (v *Verdict) FuncIDs() []query.FuncID {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return append([]query.FuncID(nil), v.order...)
 }
 
 // SnippetCount returns the total number of snippets across all models.
 func (v *Verdict) SnippetCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	n := 0
 	for _, m := range v.models {
 		n += len(m.entries)
@@ -114,6 +158,8 @@ func (v *Verdict) SnippetCount() int {
 
 // FootprintBytes approximates the total synopsis memory footprint (§8.5).
 func (v *Verdict) FootprintBytes() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	total := 0
 	for _, m := range v.models {
 		total += m.footprintBytes()
@@ -124,6 +170,8 @@ func (v *Verdict) FootprintBytes() int {
 // LogLikelihood evaluates Eq. 13 for one function under arbitrary
 // parameters (experiment support).
 func (v *Verdict) LogLikelihood(id query.FuncID, p kernel.Params) float64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	m, ok := v.models[id]
 	if !ok {
 		return 0
@@ -134,6 +182,8 @@ func (v *Verdict) LogLikelihood(id query.FuncID, p kernel.Params) float64 {
 // SynopsisKeys returns the sorted snippet keys of one function's synopsis;
 // tests use it to verify LRU behaviour.
 func (v *Verdict) SynopsisKeys(id query.FuncID) []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	m, ok := v.models[id]
 	if !ok {
 		return nil

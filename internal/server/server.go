@@ -1,0 +1,540 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/storage"
+)
+
+// Config tunes the serving layer.
+type Config struct {
+	// MaxInFlight bounds concurrently executing /query, /append and /train
+	// requests (the worker pool; admission control). Default 16.
+	MaxInFlight int
+	// QueueWait is how long a request may wait for a worker slot before the
+	// server sheds it with 503 (default 2s).
+	QueueWait time.Duration
+	// MaxBatchRows bounds one /append batch (default 1,000,000).
+	MaxBatchRows int
+	// MaxBodyBytes bounds one request body (default 64 MiB) — enforced
+	// before decoding, so oversized payloads cannot balloon memory.
+	MaxBodyBytes int64
+	// SnapshotDir is the directory /save and /load operate in; requests
+	// name files (no path separators), never paths, so clients cannot reach
+	// the rest of the filesystem. Empty disables both endpoints.
+	SnapshotDir string
+	// Generate, when set, lets clients ask /append to synthesize n rows
+	// server-side ({"generate": n}) from the workload the server was booted
+	// with — how verdict-cli's \append drives a remote server.
+	Generate func(n int, seed int64) (*storage.Table, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.MaxBatchRows <= 0 {
+		c.MaxBatchRows = 1_000_000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server serves one shared core.System to many concurrent sessions.
+type Server struct {
+	sys      *core.System
+	cfg      Config
+	mux      *http.ServeMux
+	slots    chan struct{} // worker-pool semaphore
+	sessions *sessionRegistry
+	start    time.Time
+
+	served   atomic.Int64 // requests admitted and executed
+	rejected atomic.Int64 // requests shed by admission control
+	genSeed  atomic.Int64 // seeds server-side batch generation
+}
+
+// New builds a Server around a (thread-safe) System.
+func New(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:      sys,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		sessions: newSessionRegistry(),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.admitted(s.handleQuery))
+	s.mux.HandleFunc("/append", s.admitted(s.handleAppend))
+	s.mux.HandleFunc("/train", s.admitted(s.handleTrain))
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/save", s.handleSave)
+	s.mux.HandleFunc("/load", s.handleLoad)
+	return s
+}
+
+// Handler returns the HTTP handler (mountable under httptest or net/http).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// admitted wraps a handler with the bounded worker pool: a request either
+// gets a slot within QueueWait or is shed with 503 so overload degrades
+// into fast rejections instead of unbounded queueing.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		timer := time.NewTimer(s.cfg.QueueWait)
+		defer timer.Stop()
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-timer.C:
+			s.rejected.Add(1)
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server saturated: %d requests in flight", s.cfg.MaxInFlight))
+			return
+		case <-r.Context().Done():
+			s.rejected.Add(1)
+			writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+			return
+		}
+		s.served.Add(1)
+		h(w, r)
+	}
+}
+
+// ---- /query ----
+
+type QueryRequest struct {
+	SQL     string `json:"sql"`
+	Session string `json:"session,omitempty"`
+	Exact   bool   `json:"exact,omitempty"`
+	// BudgetMS caps the simulated AQP time (§7 deployment scenario 2);
+	// 0 runs the sample to completion. Ignored when Exact is set.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+}
+
+type Group struct {
+	Column string  `json:"column"`
+	Str    string  `json:"str,omitempty"`
+	Num    float64 `json:"num,omitempty"`
+}
+
+type Cell struct {
+	Agg       string  `json:"agg"`
+	Value     float64 `json:"value"`
+	StdErr    float64 `json:"stderr"`
+	ErrBound  float64 `json:"err_bound"` // 95% half-width
+	RawValue  float64 `json:"raw_value"`
+	RawStdErr float64 `json:"raw_stderr"`
+	UsedModel bool    `json:"used_model"`
+	Exact     float64 `json:"exact,omitempty"`
+}
+
+type Row struct {
+	Group []Group `json:"group,omitempty"`
+	Cells []Cell  `json:"cells"`
+}
+
+type QueryResponse struct {
+	Session    string   `json:"session"`
+	Supported  bool     `json:"supported"`
+	Reasons    []string `json:"reasons,omitempty"`
+	Rows       []Row    `json:"rows,omitempty"`
+	Epoch      uint64   `json:"epoch"`
+	BaseRows   int      `json:"base_rows"`
+	SampleRows int      `json:"sample_rows"`
+	SimTimeMS  float64  `json:"sim_time_ms"`
+	OverheadUS float64  `json:"overhead_us"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return
+	}
+	sess := s.sessions.get(req.Session, time.Now())
+	sess.touch(time.Now())
+	sess.queries.Add(1)
+
+	var (
+		res *core.Result
+		err error
+	)
+	switch {
+	case req.Exact:
+		res, err = s.sys.ExecuteWithExact(req.SQL)
+	case req.BudgetMS > 0:
+		res, err = s.sys.ExecuteTimeBound(req.SQL, time.Duration(req.BudgetMS)*time.Millisecond)
+	default:
+		res, err = s.sys.Execute(req.SQL)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{
+		Session:    sess.ID,
+		Supported:  res.Supported,
+		Reasons:    res.Reasons,
+		Epoch:      res.Epoch,
+		BaseRows:   res.BaseRows,
+		SampleRows: res.SampleRows,
+		SimTimeMS:  float64(res.SimTime) / float64(time.Millisecond),
+		OverheadUS: float64(res.Overhead) / float64(time.Microsecond),
+	}
+	alpha, _ := mathx.ConfidenceMultiplier(0.95)
+	schema := s.sys.Engine().Base().Schema()
+	for _, row := range res.Rows {
+		rj := Row{}
+		for _, g := range row.Group {
+			gj := Group{Column: schema.Col(g.Col).Name}
+			if g.Str != "" {
+				gj.Str = g.Str
+			} else {
+				gj.Num = g.Num
+			}
+			rj.Group = append(rj.Group, gj)
+		}
+		for _, c := range row.Cells {
+			rj.Cells = append(rj.Cells, Cell{
+				Agg:       c.Agg.String(),
+				Value:     c.Improved.Value,
+				StdErr:    c.Improved.StdErr,
+				ErrBound:  alpha * c.Improved.StdErr,
+				RawValue:  c.Raw.Value,
+				RawStdErr: c.Raw.StdErr,
+				UsedModel: c.UsedModel,
+				Exact:     c.Exact,
+			})
+		}
+		resp.Rows = append(resp.Rows, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /append ----
+
+type AppendRequest struct {
+	Session string `json:"session,omitempty"`
+	// Rows are positional cell values in schema order: JSON numbers for
+	// numeric columns, strings for categorical ones.
+	Rows [][]any `json:"rows,omitempty"`
+	// Generate asks the server to synthesize this many rows from its
+	// configured workload generator instead (requires Config.Generate).
+	Generate int   `json:"generate,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+}
+
+type AppendResponse struct {
+	Session    string `json:"session"`
+	Appended   int    `json:"appended"`
+	Sampled    int    `json:"sampled"`
+	BaseRows   int    `json:"base_rows"`
+	SampleRows int    `json:"sample_rows"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	sess := s.sessions.get(req.Session, time.Now())
+	sess.touch(time.Now())
+
+	var (
+		batch *storage.Table
+		err   error
+	)
+	switch {
+	case req.Generate > 0 && len(req.Rows) > 0:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("pass rows or generate, not both"))
+		return
+	case req.Generate > 0:
+		if s.cfg.Generate == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("server has no batch generator configured"))
+			return
+		}
+		if req.Generate > s.cfg.MaxBatchRows {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("generate %d exceeds batch cap %d", req.Generate, s.cfg.MaxBatchRows))
+			return
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 7_000_000 + s.genSeed.Add(1)
+		}
+		batch, err = s.cfg.Generate(req.Generate, seed)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	case len(req.Rows) > 0:
+		if len(req.Rows) > s.cfg.MaxBatchRows {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d rows exceeds cap %d", len(req.Rows), s.cfg.MaxBatchRows))
+			return
+		}
+		batch, err = s.decodeBatch(req.Rows)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing rows or generate"))
+		return
+	}
+
+	appended := batch.Rows()
+	sampled, err := s.sys.Append(batch)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess.appends.Add(1)
+	view := s.sys.Engine().Acquire()
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Session:    sess.ID,
+		Appended:   appended,
+		Sampled:    sampled,
+		BaseRows:   view.BaseRows,
+		SampleRows: view.SampleRows,
+		Epoch:      view.Epoch,
+	})
+}
+
+// decodeBatch builds a batch table (against the base schema) from
+// positional JSON rows.
+func (s *Server) decodeBatch(rows [][]any) (*storage.Table, error) {
+	schema := s.sys.Engine().Base().Schema()
+	batch := storage.NewTable(s.sys.Engine().Base().Name()+"_batch", schema)
+	vals := make([]storage.Value, schema.Len())
+	for ri, row := range rows {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("row %d has %d cells, schema has %d", ri, len(row), schema.Len())
+		}
+		for ci, cell := range row {
+			def := schema.Col(ci)
+			switch def.Kind {
+			case storage.Numeric:
+				f, ok := cell.(float64)
+				if !ok {
+					return nil, fmt.Errorf("row %d col %s: want number, got %T", ri, def.Name, cell)
+				}
+				vals[ci] = storage.Num(f)
+			default:
+				str, ok := cell.(string)
+				if !ok {
+					return nil, fmt.Errorf("row %d col %s: want string, got %T", ri, def.Name, cell)
+				}
+				vals[ci] = storage.Str(str)
+			}
+		}
+		if err := batch.AppendRow(vals); err != nil {
+			return nil, err
+		}
+	}
+	return batch, nil
+}
+
+// ---- /train ----
+
+type TrainResponse struct {
+	Snippets  int `json:"snippets"`
+	Functions int `json:"functions"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	// Training is expensive (O(n³) per model) and state-changing: never let
+	// an idempotent-looking GET trigger it.
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	if err := s.sys.Verdict().Train(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TrainResponse{
+		Snippets:  s.sys.Verdict().SnippetCount(),
+		Functions: len(s.sys.Verdict().FuncIDs()),
+	})
+}
+
+// ---- /stats ----
+
+type StatsResponse struct {
+	Table struct {
+		Name       string   `json:"name"`
+		Columns    []string `json:"columns"`
+		BaseRows   int      `json:"base_rows"`
+		SampleRows int      `json:"sample_rows"`
+		Epoch      uint64   `json:"epoch"`
+	} `json:"table"`
+	System   core.SystemStats `json:"system"`
+	Synopsis struct {
+		Snippets  int `json:"snippets"`
+		Functions int `json:"functions"`
+		Footprint int `json:"footprint_bytes"`
+	} `json:"synopsis"`
+	Server struct {
+		Sessions    int   `json:"sessions"`
+		MaxInFlight int   `json:"max_in_flight"`
+		Served      int64 `json:"served"`
+		Rejected    int64 `json:"rejected"`
+		UptimeMS    int64 `json:"uptime_ms"`
+	} `json:"server"`
+	Sessions []SessionInfo `json:"sessions,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	view := s.sys.Engine().Acquire()
+	resp.Table.Name = view.Base.Name()
+	resp.Table.Columns = view.Base.Schema().Names()
+	resp.Table.BaseRows = view.BaseRows
+	resp.Table.SampleRows = view.SampleRows
+	resp.Table.Epoch = view.Epoch
+	resp.System = s.sys.StatsSnapshot()
+	v := s.sys.Verdict()
+	resp.Synopsis.Snippets = v.SnippetCount()
+	resp.Synopsis.Functions = len(v.FuncIDs())
+	resp.Synopsis.Footprint = v.FootprintBytes()
+	resp.Server.Sessions = s.sessions.len()
+	resp.Server.MaxInFlight = s.cfg.MaxInFlight
+	resp.Server.Served = s.served.Load()
+	resp.Server.Rejected = s.rejected.Load()
+	resp.Server.UptimeMS = time.Since(s.start).Milliseconds()
+	resp.Sessions = s.sessions.snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /save, /load ----
+
+type PathRequest struct {
+	// Path is a snapshot file name inside the server's configured snapshot
+	// directory — a bare name, not a filesystem path.
+	Path string `json:"path"`
+}
+
+type SnapshotResponse struct {
+	Path     string `json:"path"`
+	Snippets int    `json:"snippets"`
+}
+
+// snapshotFile validates the client-supplied name and resolves it inside
+// SnapshotDir. Clients never name paths: anything with a separator or
+// traversal component is rejected, so the endpoints cannot touch the rest
+// of the filesystem.
+func (s *Server) snapshotFile(name string) (string, error) {
+	if s.cfg.SnapshotDir == "" {
+		return "", fmt.Errorf("snapshot persistence disabled: start the server with a snapshot directory")
+	}
+	if name == "" {
+		return "", fmt.Errorf("missing path")
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return "", fmt.Errorf("snapshot name %q must be a bare file name", name)
+	}
+	return filepath.Join(s.cfg.SnapshotDir, name), nil
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	var req PathRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	path, err := s.snapshotFile(req.Path)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Write-then-rename: concurrent saves to the same name race only on the
+	// atomic rename, never interleave bytes in the target file.
+	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, "."+req.Path+".tmp-*")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	err = s.sys.Verdict().Save(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Path: req.Path, Snippets: s.sys.Verdict().SnippetCount()})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req PathRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	path, err := s.snapshotFile(req.Path)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer f.Close()
+	if err := s.sys.LoadSynopsis(f); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Path: req.Path, Snippets: s.sys.Verdict().SnippetCount()})
+}
+
+// ---- plumbing ----
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	// Cap the body before decoding: MaxBatchRows alone cannot bound memory
+	// once a multi-GB payload has already been parsed.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errJSON struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errJSON{Error: err.Error()})
+}

@@ -1,0 +1,127 @@
+// Package server is the concurrent serving layer: it exposes the Verdict
+// pipeline (internal/core) as a long-running multi-session HTTP/JSON
+// service. N clients share one System — and therefore one synopsis, which
+// is the whole point of database learning: every client's queries make the
+// next client's answers better. Queries run against snapshot-isolated
+// engine views while streaming appends land behind them; admission control
+// bounds the number of in-flight requests with a worker-slot semaphore.
+package server
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Session is one client's serving state. Sessions are created on first use
+// and identified by a caller-chosen id (or an assigned one when empty);
+// they carry only counters — query state itself lives in the shared System,
+// which is what lets sessions learn from each other.
+type Session struct {
+	ID      string
+	Created time.Time
+
+	queries  atomic.Int64
+	appends  atomic.Int64
+	lastSeen atomic.Int64 // unix nanos
+}
+
+func (s *Session) touch(now time.Time) { s.lastSeen.Store(now.UnixNano()) }
+
+// SessionInfo is the exported snapshot of one session for /stats.
+type SessionInfo struct {
+	ID       string    `json:"id"`
+	Created  time.Time `json:"created"`
+	LastSeen time.Time `json:"last_seen"`
+	Queries  int64     `json:"queries"`
+	Appends  int64     `json:"appends"`
+}
+
+// maxSessions bounds the registry: beyond it the least-recently-seen
+// session is evicted, so anonymous one-shot clients (every request without
+// a session id mints a fresh identity) cannot grow the server without
+// bound. Evicted ids are recreated on their next request.
+const maxSessions = 4096
+
+// statsSessionLimit bounds how many sessions /stats lists (most recent
+// first) so the payload stays small on busy servers.
+const statsSessionLimit = 100
+
+// sessionRegistry tracks live sessions by id.
+type sessionRegistry struct {
+	mu   sync.Mutex
+	byID map[string]*Session
+	seq  int64
+}
+
+func newSessionRegistry() *sessionRegistry {
+	return &sessionRegistry{byID: make(map[string]*Session)}
+}
+
+// get returns the session with the given id, creating it if needed; an
+// empty id is assigned a fresh "s-<n>" identity.
+func (r *sessionRegistry) get(id string, now time.Time) *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id == "" {
+		r.seq++
+		id = "s-" + strconv.FormatInt(r.seq, 10)
+	}
+	s, ok := r.byID[id]
+	if !ok {
+		if len(r.byID) >= maxSessions {
+			r.evictOldestLocked()
+		}
+		s = &Session{ID: id, Created: now}
+		s.touch(now)
+		r.byID[id] = s
+	}
+	return s
+}
+
+func (r *sessionRegistry) evictOldestLocked() {
+	var oldest *Session
+	for _, s := range r.byID {
+		if oldest == nil || s.lastSeen.Load() < oldest.lastSeen.Load() {
+			oldest = s
+		}
+	}
+	if oldest != nil {
+		delete(r.byID, oldest.ID)
+	}
+}
+
+func (r *sessionRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// snapshot lists the most recently seen sessions (capped at
+// statsSessionLimit), ties broken by id for stable /stats output.
+func (r *sessionRegistry) snapshot() []SessionInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SessionInfo, 0, len(r.byID))
+	for _, s := range r.byID {
+		out = append(out, SessionInfo{
+			ID:       s.ID,
+			Created:  s.Created,
+			LastSeen: time.Unix(0, s.lastSeen.Load()),
+			Queries:  s.queries.Load(),
+			Appends:  s.appends.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].LastSeen.Equal(out[j].LastSeen) {
+			return out[i].LastSeen.After(out[j].LastSeen)
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > statsSessionLimit {
+		out = out[:statsSessionLimit]
+	}
+	return out
+}

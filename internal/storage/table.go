@@ -3,15 +3,30 @@ package storage
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Table is an immutable-schema, append-only columnar relation. Numeric
 // columns store float64; categorical columns store dictionary codes. Tables
 // are the unit the AQP engine samples and scans.
+//
+// Concurrency contract: appends (AppendRow, AppendTable, AppendByName) are
+// serialized internally and may run concurrently with Snapshot, SelectRows,
+// Domain and Stats. The per-cell accessors (NumAt, NumericCol, CodesCol, …)
+// take no locks: concurrent readers must work against a frozen Snapshot
+// view, which shares the column backing arrays but can never observe rows
+// or zone maps an in-flight append is writing.
 type Table struct {
 	name   string
 	schema *Schema
 	rows   int
+
+	// mu serializes appends against snapshot/domain reads; epoch counts
+	// append batches so cached views can detect staleness without locking.
+	mu     sync.RWMutex
+	epoch  atomic.Uint64
+	frozen bool // snapshot views reject mutation
 
 	numeric [][]float64 // per-column values; nil for categorical columns
 	codes   [][]int32   // per-column codes; nil for numeric columns
@@ -29,8 +44,13 @@ type Table struct {
 	catZones [][]CatZone
 }
 
-// Dict is a string dictionary for one categorical column.
+// Dict is a string dictionary for one categorical column. Dictionaries are
+// grow-only and internally synchronized: a base relation and the frozen
+// snapshots scans run against share one Dict, so lookups may race with a
+// concurrent append interning new values. Codes already handed out never
+// change meaning.
 type Dict struct {
+	mu     sync.RWMutex
 	byCode []string
 	byName map[string]int32
 }
@@ -42,10 +62,18 @@ func NewDict() *Dict {
 
 // Code interns a value and returns its code.
 func (d *Dict) Code(v string) int32 {
+	d.mu.RLock()
+	c, ok := d.byName[v]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if c, ok := d.byName[v]; ok {
 		return c
 	}
-	c := int32(len(d.byCode))
+	c = int32(len(d.byCode))
 	d.byCode = append(d.byCode, v)
 	d.byName[v] = c
 	return c
@@ -53,15 +81,27 @@ func (d *Dict) Code(v string) int32 {
 
 // LookupCode returns the code for v without interning.
 func (d *Dict) LookupCode(v string) (int32, bool) {
+	d.mu.RLock()
 	c, ok := d.byName[v]
+	d.mu.RUnlock()
 	return c, ok
 }
 
 // Value returns the string for a code.
-func (d *Dict) Value(c int32) string { return d.byCode[c] }
+func (d *Dict) Value(c int32) string {
+	d.mu.RLock()
+	v := d.byCode[c]
+	d.mu.RUnlock()
+	return v
+}
 
 // Size returns the number of distinct values.
-func (d *Dict) Size() int { return len(d.byCode) }
+func (d *Dict) Size() int {
+	d.mu.RLock()
+	n := len(d.byCode)
+	d.mu.RUnlock()
+	return n
+}
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema *Schema) *Table {
@@ -111,11 +151,20 @@ func Num(v float64) Value { return Value{Num: v} }
 // Str returns a categorical cell value.
 func Str(v string) Value { return Value{Str: v} }
 
+// ErrFrozen is returned when mutating a frozen snapshot view.
+var ErrFrozen = fmt.Errorf("storage: table snapshot is read-only")
+
 // AppendRow appends one row; vals must be in schema order.
 func (t *Table) AppendRow(vals []Value) error {
 	if len(vals) != t.schema.Len() {
 		return fmt.Errorf("storage: row width %d, schema width %d", len(vals), t.schema.Len())
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen {
+		return ErrFrozen
+	}
+	defer t.epoch.Add(1)
 	for i, v := range vals {
 		switch t.schema.Col(i).Kind {
 		case Numeric:
@@ -182,11 +231,14 @@ func (t *Table) observe(i int, v float64) {
 
 // Domain returns the [min,max] domain of a numeric column — the declared
 // schema domain if one was given, otherwise the observed extent; Verdict
-// uses it in place of missing range constraints (§4.1).
+// uses it in place of missing range constraints (§4.1). Safe to call while
+// another goroutine appends.
 func (t *Table) Domain(col int) (lo, hi float64) {
 	if t.schema.Col(col).Kind != Numeric {
 		panic(ErrTypeMismatch)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if !t.domainSet[col] {
 		return 0, 0
 	}
@@ -194,8 +246,12 @@ func (t *Table) Domain(col int) (lo, hi float64) {
 }
 
 // SelectRows materializes a new table containing the given row indices, in
-// order. It is how samples and filtered views are built.
+// order. It is how samples and filtered views are built. Safe to call while
+// another goroutine appends to t, provided every index precedes the rows
+// being appended.
 func (t *Table) SelectRows(name string, idx []int) *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := NewTable(name, t.schema)
 	for i := range out.numeric {
 		if t.schema.Col(i).Kind == Numeric {
@@ -229,11 +285,18 @@ func (t *Table) SelectRows(name string, idx []int) *Table {
 }
 
 // AppendTable appends all rows of other (same schema object required); it
-// implements Appendix D's data-append scenario.
+// implements Appendix D's data-append scenario. The caller must not mutate
+// other concurrently.
 func (t *Table) AppendTable(other *Table) error {
 	if other.schema != t.schema {
 		return fmt.Errorf("storage: AppendTable requires the identical schema object")
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen {
+		return ErrFrozen
+	}
+	defer t.epoch.Add(1)
 	for i := 0; i < t.schema.Len(); i++ {
 		if t.schema.Col(i).Kind == Numeric {
 			t.numeric[i] = append(t.numeric[i], other.numeric[i]...)
@@ -276,6 +339,8 @@ type ColumnStats struct {
 
 // Stats computes streaming statistics of a numeric column.
 func (t *Table) Stats(col int) ColumnStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	vals := t.NumericCol(col)
 	st := ColumnStats{Count: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
 	if len(vals) == 0 {
