@@ -382,3 +382,86 @@ func BenchmarkServerThroughput(b *testing.B) {
 		})
 	}
 }
+
+// shardBenchTable builds a relation with one dimension column and nFuncs
+// measure columns, so Record traffic spreads across nFuncs aggregate
+// functions (each its own model, hashing to its own synopsis shard).
+func shardBenchTable(b *testing.B, rows, nFuncs int) *storage.Table {
+	b.Helper()
+	defs := []storage.ColumnDef{
+		{Name: "x", Kind: storage.Numeric, Role: storage.Dimension, Min: 0, Max: 100},
+	}
+	for i := 0; i < nFuncs; i++ {
+		defs = append(defs, storage.ColumnDef{
+			Name: "m" + strconv.Itoa(i), Kind: storage.Numeric, Role: storage.Measure,
+		})
+	}
+	schema := storage.MustSchema(defs)
+	tb := storage.NewTable("shardbench", schema)
+	rng := randx.New(3)
+	vals := make([]storage.Value, len(defs))
+	for r := 0; r < rows; r++ {
+		vals[0] = storage.Num(rng.Uniform(0, 100))
+		for i := 1; i < len(defs); i++ {
+			vals[i] = storage.Num(rng.Normal(0, 1))
+		}
+		if err := tb.AppendRow(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func shardBenchSnippet(tb *storage.Table, fn int, lo, hi float64) *query.Snippet {
+	g := query.NewRegion(tb.Schema())
+	xcol, _ := tb.Schema().Lookup("x")
+	g.ConstrainNum(xcol, query.NumRange{Lo: lo, Hi: hi})
+	key := "m" + strconv.Itoa(fn)
+	mcol, _ := tb.Schema().Lookup(key)
+	return &query.Snippet{
+		Kind:       query.AvgAgg,
+		MeasureKey: key,
+		Measure:    func(t *storage.Table, row int) float64 { return t.NumAt(row, mcol) },
+		Region:     g,
+		Table:      tb,
+	}
+}
+
+// BenchmarkRecordSharded measures concurrent Record throughput against the
+// sharded synopsis at 1, 4 and 16 shards. Goroutines hammer 16 distinct
+// aggregate functions (the multi-tenant serving pattern); with one shard
+// every Record serializes on a single writer lock, while with 4/16 shards
+// writers on different functions proceed in parallel — the acceptance bar
+// is ≥2× ops/sec at 4 shards vs 1 on a multicore machine. Each model sits
+// at its LRU cap, so the per-op maintenance work (eviction, reindex,
+// moment refresh over C_g entries) is constant across the run.
+func BenchmarkRecordSharded(b *testing.B) {
+	const nFuncs = 16
+	tb := shardBenchTable(b, 2000, nFuncs)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			v := core.New(tb, core.Config{NumShards: shards, SynopsisCap: 192})
+			// Warm every model past its cap so the steady state is uniform.
+			warm := randx.New(9)
+			for k := 0; k < 224; k++ {
+				for fn := 0; fn < nFuncs; fn++ {
+					lo := warm.Uniform(0, 90)
+					v.Record(shardBenchSnippet(tb, fn, lo, lo+5),
+						query.ScalarEstimate{Value: warm.Normal(0, 1), StdErr: 0.5})
+				}
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				fn := int(next.Add(1)-1) % nFuncs
+				rng := randx.New(int64(1000 + fn))
+				for pb.Next() {
+					lo := rng.Uniform(0, 90)
+					v.Record(shardBenchSnippet(tb, fn, lo, lo+5),
+						query.ScalarEstimate{Value: rng.Normal(0, 1), StdErr: 0.5})
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}

@@ -7,17 +7,20 @@
 //
 //	verdict-server -addr :8765 -dataset customer1 -rows 100000
 //	verdict-server -dataset tpch -rows 200000 -fraction 0.1 -max-inflight 32
+//	verdict-server -shards 16 -rebuild-after-rows 50000 -rebuild-quiet 5s
 //
 // Endpoints (JSON over HTTP):
 //
-//	POST /query  {"sql": "...", "session": "alice", "exact": false, "budget_ms": 0}
-//	POST /append {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
-//	POST /train  {}
-//	GET  /stats
-//	POST /save   {"path": "synopsis.json"}   (file name inside -snapshot-dir)
-//	POST /load   {"path": "synopsis.json"}
+//	POST /query   {"sql": "...", "session": "alice", "exact": false, "budget_ms": 0}
+//	POST /append  {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
+//	POST /train   {}
+//	POST /rebuild {}                         (re-shuffle the sample; epoch swap)
+//	GET  /stats                              (incl. per-shard synopsis + sample generation)
+//	POST /save    {"path": "synopsis.json"}  (file name inside -snapshot-dir)
+//	POST /load    {"path": "synopsis.json"}
 //
 // Drive it interactively with: verdict-cli -connect localhost:8765
+// See the README operations guide for every flag and a curl quickstart.
 package main
 
 import (
@@ -46,6 +49,9 @@ func main() {
 		inflight  = flag.Int("max-inflight", 16, "bounded worker pool size (admission control)")
 		queueWait = flag.Duration("queue-wait", 2*time.Second, "max wait for a worker slot before 503")
 		snapDir   = flag.String("snapshot-dir", "", "directory for /save and /load synopsis snapshots (empty disables them)")
+		shards    = flag.Int("shards", 0, "synopsis shards (0 = default 8); writer throughput scales with shards on multi-function workloads")
+		rebRows   = flag.Int("rebuild-after-rows", 0, "auto-rebuild the sample after this many appended rows land (0 disables auto-rebuild)")
+		rebQuiet  = flag.Duration("rebuild-quiet", 2*time.Second, "idle period required before an armed auto-rebuild fires")
 	)
 	flag.Parse()
 
@@ -59,21 +65,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{})
+	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{NumShards: *shards})
 
 	srv := server.New(sys, server.Config{
-		MaxInFlight: *inflight,
-		QueueWait:   *queueWait,
-		SnapshotDir: *snapDir,
+		MaxInFlight:      *inflight,
+		QueueWait:        *queueWait,
+		SnapshotDir:      *snapDir,
+		RebuildAfterRows: *rebRows,
+		RebuildQuiet:     *rebQuiet,
 		Generate: func(n int, genSeed int64) (*storage.Table, error) {
 			return buildTable(*dataset, n, genSeed)
 		},
 	})
+	defer srv.Close()
 
-	log.Printf("verdict-server on %s — %s (%d rows, %.0f%% sample, %d worker slots)",
-		*addr, *dataset, table.Rows(), *fraction*100, *inflight)
+	log.Printf("verdict-server on %s — %s (%d rows, %.0f%% sample, %d worker slots, %d synopsis shards)",
+		*addr, *dataset, table.Rows(), *fraction*100, *inflight, sys.Verdict().NumShards())
 	log.Printf("columns: %s", strings.Join(table.Schema().Names(), ", "))
-	log.Printf("endpoints: POST /query /append /train /save /load, GET /stats")
+	log.Printf("endpoints: POST /query /append /train /rebuild /save /load, GET /stats")
+	if *rebRows > 0 {
+		log.Printf("auto-rebuild: after %d appended rows, once idle for %v", *rebRows, *rebQuiet)
+	}
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

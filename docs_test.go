@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repository uses inline links.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks every .md file in the repository and verifies
+// that relative links point at files (or directories) that exist — the
+// docs-rot gate the CI docs job runs. External URLs and pure anchors are
+// skipped; a "#fragment" suffix on a relative link is stripped before the
+// existence check.
+func TestMarkdownLinks(t *testing.T) {
+	root := "."
+	var mdFiles []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	// Quote archives hold verbatim excerpts of *other* repositories'
+	// documents; their relative links point into those repos, not ours.
+	quoted := map[string]bool{"SNIPPETS.md": true, "PAPERS.md": true}
+	checked := 0
+	for _, md := range mdFiles {
+		if quoted[filepath.Base(md)] {
+			continue
+		}
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked; the regexp or the docs regressed")
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(mdFiles))
+}

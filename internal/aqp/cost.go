@@ -1,16 +1,3 @@
-// Package aqp implements the off-the-shelf approximate query processing
-// engine Verdict treats as a black box (Figure 2): offline uniform random
-// samples, batch-wise online aggregation with CLT error estimates (the
-// paper's NoLearn baseline), a time-bound mode (Appendix C.2), an exact
-// executor used as ground truth, and a simulated I/O cost model standing in
-// for the paper's Spark/HDFS cluster.
-//
-// The cost model is the documented substitution for real cluster latency
-// (see DESIGN.md §2): experiments report *simulated* time — a fixed
-// per-query planning overhead plus scanned-rows divided by scan throughput,
-// with distinct cached-memory and SSD throughputs — which reproduces the
-// relative runtime structure that drives the paper's speedup results while
-// staying deterministic and hardware-independent.
 package aqp
 
 import "time"

@@ -1,0 +1,39 @@
+// Package aqp implements the off-the-shelf approximate query processing
+// engine Verdict treats as a black box (Figure 2): offline uniform random
+// samples, batch-wise online aggregation with CLT error estimates (the
+// paper's NoLearn baseline), a time-bound mode (Appendix C.2), an exact
+// executor used as ground truth, the vectorized block-partitioned scan
+// engine (scan.go), epoch-swap sample rebuilds (rebuild.go), and a
+// simulated I/O cost model standing in for the paper's Spark/HDFS cluster.
+//
+// The cost model is the documented substitution for real cluster latency
+// (see DESIGN.md §2): experiments report *simulated* time — a fixed
+// per-query planning overhead plus scanned-rows divided by scan throughput,
+// with distinct cached-memory and SSD throughputs — which reproduces the
+// relative runtime structure that drives the paper's speedup results while
+// staying deterministic and hardware-independent.
+//
+// # Concurrency invariants
+//
+// Who locks what: the engine has exactly one writer mutex, wmu, held by
+// Append, RebuildSample and view publication. Read paths take no engine
+// locks at all — Acquire's fast path is atomic loads (the cached *View,
+// the *Sample pointer, table epochs), and everything reachable from an
+// acquired View is safe to scan concurrently.
+//
+// What is immutable after publish:
+//
+//   - A published View (frozen base and sample prefix snapshots, cost
+//     model, scan mode, the Epoch/SampleGen/BaseRows/SampleRows stamps) is
+//     never mutated; staleness republishes a new one.
+//   - The Sample struct behind e.sample is copy-on-write: Append and
+//     RebuildSample build a fresh struct and swap the pointer, so a loaded
+//     *Sample is always internally coherent. Within a generation the
+//     sample *table* is append-only (prefixes immortal → ViewAt replays);
+//     across generations RebuildSample retires the old table frozen so
+//     ViewAtGen can replay any historical prefix of any generation.
+//
+// Determinism: scans fan out across workers but merge per-worker
+// accumulators in fixed order, so a replay of the same view is
+// float-identical to the original run.
+package aqp

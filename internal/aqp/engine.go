@@ -20,23 +20,34 @@ import (
 // published immutable View (see view.go), and Append serializes writers
 // while queries keep scanning the stable prefix they pinned.
 type Engine struct {
-	base   *storage.Table
-	sample *Sample
-	cost   CostModel
-	mode   ScanMode
+	base *storage.Table
+	cost CostModel
+	mode ScanMode
 
-	// wmu serializes writers (Append) and view publication; view caches the
-	// current snapshot, republished whenever a table epoch moves.
+	// sample points at the current-generation Sample. The struct behind the
+	// pointer is immutable once stored: Append and RebuildSample build a
+	// fresh Sample (copy-on-write) and swap the pointer under wmu, so the
+	// lock-free view fast path always reads a coherent (Gen, Data) pair.
+	sample atomic.Pointer[Sample]
+
+	// wmu serializes writers (Append, RebuildSample) and view publication;
+	// view caches the current snapshot, republished whenever a table epoch
+	// or the sample generation moves. retired[g] is the frozen final state
+	// of sample generation g (see RebuildSample); the invariant is
+	// sample.Load().Gen == uint64(len(retired)).
 	wmu       sync.Mutex
 	view      atomic.Pointer[View]
 	viewEpoch atomic.Uint64
+	retired   []*storage.Table
 }
 
 // NewEngine wires a base relation, its offline sample and a cost model. The
 // engine scans with the vectorized block pipeline by default; see
 // SetScanMode.
 func NewEngine(base *storage.Table, sample *Sample, cost CostModel) *Engine {
-	return &Engine{base: base, sample: sample, cost: cost}
+	e := &Engine{base: base, cost: cost}
+	e.sample.Store(sample)
+	return e
 }
 
 // SetScanMode switches between the vectorized block scan (default) and the
@@ -54,9 +65,9 @@ func (e *Engine) ScanMode() ScanMode { return e.mode }
 // prefer Acquire().Base.
 func (e *Engine) Base() *storage.Table { return e.base }
 
-// Sample returns the live offline sample. Concurrent consumers should
-// prefer Acquire().Sample.
-func (e *Engine) Sample() *Sample { return e.sample }
+// Sample returns the live current-generation sample. Concurrent consumers
+// should prefer Acquire().Sample.
+func (e *Engine) Sample() *Sample { return e.sample.Load() }
 
 // Cost returns the engine's cost model.
 func (e *Engine) Cost() CostModel { return e.cost }

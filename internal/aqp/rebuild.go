@@ -1,0 +1,104 @@
+package aqp
+
+import (
+	"sort"
+
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// Epoch-swap sample rebuild. Streamed appends extend the sample at its
+// tail (Engine.Append), so a long-running server's sample slowly loses the
+// property online aggregation depends on: that *any prefix* is itself a
+// uniform random sample of the grown relation. Full-sample estimates stay
+// unbiased — each append stratum is drawn at the same fraction — but short
+// online-aggregation prefixes skew toward older data, and the paper's
+// Lemma 3 variance accounting assumes prefix-uniformity when a query stops
+// early. RebuildSample restores it during quiet periods: it re-lays-out
+// the sample into a fresh table and republishes atomically, while queries
+// pinned to the old generation keep scanning it untouched.
+
+// RebuildOptions tunes the layout RebuildSample produces.
+type RebuildOptions struct {
+	// ClusterColumn, when >= 0, names a numeric column to build a
+	// block-clustered, zone-map-friendly layout around: rows are sorted by
+	// the column, chunked into storage.BlockSize blocks (each spanning a
+	// narrow value range, so Region.PruneBlock skips most of them), and the
+	// *blocks* are emitted in random order. Prefixes are then uniform over
+	// blocks rather than rows — a cluster sample: still unbiased across the
+	// block draw, but with higher short-prefix variance when the cluster
+	// column correlates with the measure. When < 0 (the default), the
+	// rebuild is a pure row shuffle: every prefix is a uniform row sample,
+	// and zone maps stay as loose as any shuffled layout's.
+	ClusterColumn int
+}
+
+// DefaultRebuildOptions selects the pure-shuffle, prefix-uniform layout.
+func DefaultRebuildOptions() RebuildOptions {
+	return RebuildOptions{ClusterColumn: -1}
+}
+
+// RebuildSample re-lays-out the sample into a fresh table (per opts) and
+// swaps it in as the next sample generation. The swap is atomic with
+// respect to readers: in-flight queries keep their pinned view of the old
+// generation, whose final state is retired frozen so ViewAtGen can replay
+// any historical prefix of it; the next Acquire observes the new layout.
+// The sample's *content* (row multiset, fraction, batch size, base
+// cardinality) is unchanged — only the physical order moves — so the
+// synopsis and every full-sample answer are unaffected.
+//
+// Rebuilding is O(sample size) time and memory and serializes with Append;
+// run it in quiet periods (the serving layer's auto-rebuild trigger does).
+// Each retired generation keeps its rows reachable until the engine is
+// dropped — the cost of immortal replay prefixes; at one rebuild per quiet
+// period the retained set grows by one sample-sized table per rebuild.
+// Returns the new generation number.
+func (e *Engine) RebuildSample(seed int64, opts RebuildOptions) uint64 {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	cur := e.sample.Load()
+	old := cur.Data
+	var idx []int
+	if opts.ClusterColumn >= 0 {
+		idx = clusterShuffledIndices(old, opts.ClusterColumn, seed)
+	} else {
+		idx = randx.New(seed).Perm(old.Rows())
+	}
+	data := old.SelectRows(old.Name(), idx)
+	// Retire the old generation frozen: pinned views already share its
+	// backing arrays, and replays need its prefixes forever.
+	e.retired = append(e.retired, old.Snapshot())
+	ns := *cur
+	ns.Data = data
+	ns.Gen = cur.Gen + 1
+	e.sample.Store(&ns)
+	e.publishLocked()
+	return ns.Gen
+}
+
+// SampleGen returns the current sample generation.
+func (e *Engine) SampleGen() uint64 { return e.sample.Load().Gen }
+
+// clusterShuffledIndices orders rows by the cluster column, chunks the
+// sorted order into BlockSize runs, and shuffles the full runs; the
+// partial tail run stays last so every run lands block-aligned in the
+// rebuilt table (a mid-stream partial run would shift later runs across
+// block boundaries and widen their zone maps). Sorting is stable so equal
+// keys keep their (already shuffled) relative order.
+func clusterShuffledIndices(t *storage.Table, col int, seed int64) []int {
+	n := t.Rows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	keys := t.NumericCol(col)
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	full := n / storage.BlockSize
+	order := randx.New(seed).Perm(full)
+	out := make([]int, 0, n)
+	for _, b := range order {
+		lo := b * storage.BlockSize
+		out = append(out, idx[lo:lo+storage.BlockSize]...)
+	}
+	return append(out, idx[full*storage.BlockSize:]...)
+}

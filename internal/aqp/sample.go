@@ -22,6 +22,12 @@ type Sample struct {
 	// BaseRows is the base relation's cardinality (the |r| in
 	// COUNT(*) = FREQ(*) × table cardinality).
 	BaseRows int
+	// Gen is the sample generation: 0 for the offline-built sample, bumped
+	// once per Engine.RebuildSample epoch swap. Within a generation the
+	// sample table is append-only (prefixes are immortal, so ViewAt can
+	// replay); across generations rows are re-laid-out and replays must
+	// name the generation (Engine.ViewAtGen).
+	Gen uint64
 }
 
 // DefaultBatches is how many batches a sample is split into when no batch

@@ -14,9 +14,10 @@ import (
 // snapshot of everything one query evaluation reads: the base relation and
 // the sample at a stable row count, plus the cost model and scan mode in
 // force when it was acquired. Scans against a View take no locks, so any
-// number of queries can run while Engine.Append lands new rows behind them;
-// a query pinned to a View observes exactly the prefix that existed when
-// the View was published, and never a torn mid-append state.
+// number of queries can run while Engine.Append lands new rows — or
+// Engine.RebuildSample swaps in a new sample generation — behind them; a
+// query pinned to a View observes exactly the prefix (and generation) that
+// existed when the View was published, and never a torn mid-append state.
 //
 // Views are cheap: column data is shared with the live tables (appends only
 // write past the captured lengths) and only the small per-block zone maps
@@ -31,9 +32,12 @@ type View struct {
 	// the base cardinality captured at the same instant.
 	Sample *Sample
 	// Epoch is a monotone publication counter (0 for replay views built by
-	// ViewAt). BaseRows/SampleRows identify the snapshot prefix and are all
-	// a serial replay needs to reconstruct this view later.
+	// ViewAt/ViewAtGen). SampleGen names the sample generation (epoch-swap
+	// rebuilds bump it); BaseRows/SampleRows identify the snapshot prefix.
+	// The (SampleGen, BaseRows, SampleRows) triple is all a serial replay
+	// needs to reconstruct this view later (Engine.ViewAtGen).
 	Epoch      uint64
+	SampleGen  uint64
 	BaseRows   int
 	SampleRows int
 
@@ -172,13 +176,12 @@ func (v *View) GroupRows(groupCols []int, region *query.Region) ([][]query.Group
 }
 
 // Acquire returns the current published view, rebuilding it only when an
-// append has moved a table epoch since the last publication. The fast path
-// is lock-free.
+// append has moved a table epoch — or a rebuild has moved the sample
+// generation — since the last publication. The fast path is lock-free: the
+// Sample struct behind e.sample is immutable, so one pointer load yields a
+// coherent (Gen, Data) pair to compare against the cached view.
 func (e *Engine) Acquire() *View {
-	if v := e.view.Load(); v != nil &&
-		v.baseEpoch == e.base.Epoch() &&
-		v.sampleEpoch == e.sample.Data.Epoch() &&
-		v.mode == e.mode {
+	if v := e.view.Load(); v != nil && e.viewCurrent(v) {
 		return v
 	}
 	e.wmu.Lock()
@@ -186,24 +189,33 @@ func (e *Engine) Acquire() *View {
 	return e.publishLocked()
 }
 
+// viewCurrent reports whether v still reflects the live tables, sample
+// generation and scan mode.
+func (e *Engine) viewCurrent(v *View) bool {
+	smp := e.sample.Load()
+	return v.baseEpoch == e.base.Epoch() &&
+		v.SampleGen == smp.Gen &&
+		v.sampleEpoch == smp.Data.Epoch() &&
+		v.mode == e.mode
+}
+
 // publishLocked snapshots the live tables and stores the new view. Caller
 // holds e.wmu, so the base/sample/BaseRows triple is coherent.
 func (e *Engine) publishLocked() *View {
-	if v := e.view.Load(); v != nil &&
-		v.baseEpoch == e.base.Epoch() &&
-		v.sampleEpoch == e.sample.Data.Epoch() &&
-		v.mode == e.mode {
+	if v := e.view.Load(); v != nil && e.viewCurrent(v) {
 		return v
 	}
+	cur := e.sample.Load()
 	base := e.base.Snapshot()
-	data := e.sample.Data.Snapshot()
-	smp := *e.sample
+	data := cur.Data.Snapshot()
+	smp := *cur
 	smp.Data = data
 	smp.BaseRows = base.Rows()
 	v := &View{
 		Base:        base,
 		Sample:      &smp,
 		Epoch:       e.viewEpoch.Add(1),
+		SampleGen:   cur.Gen,
 		BaseRows:    base.Rows(),
 		SampleRows:  data.Rows(),
 		baseEpoch:   base.Epoch(),
@@ -215,21 +227,50 @@ func (e *Engine) publishLocked() *View {
 	return v
 }
 
-// ViewAt reconstructs the view that served a past query from its recorded
-// (BaseRows, SampleRows) prefix — tables are append-only, so the prefix
-// snapshot taken now is row-for-row identical to the historical one. Serial
-// replays use it to audit answers produced under concurrency.
+// ViewAt reconstructs the view that served a past query of the *current*
+// sample generation from its recorded (BaseRows, SampleRows) prefix —
+// tables are append-only within a generation, so the prefix snapshot taken
+// now is row-for-row identical to the historical one. Serial replays use
+// it to audit answers produced under concurrency. To replay a query served
+// before a sample rebuild, use ViewAtGen with the result's SampleGen.
 func (e *Engine) ViewAt(baseRows, sampleRows int) *View {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
+	return e.viewAtLocked(e.sample.Load().Gen, baseRows, sampleRows)
+}
+
+// ViewAtGen reconstructs the view that served a past query from its
+// recorded (SampleGen, BaseRows, SampleRows) triple, reaching back through
+// retired sample generations: RebuildSample retires the old generation's
+// table frozen, so its prefixes stay immortal even though the live sample
+// was re-laid-out. Returns nil for a generation that never existed.
+func (e *Engine) ViewAtGen(gen uint64, baseRows, sampleRows int) *View {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if gen > e.sample.Load().Gen {
+		return nil
+	}
+	return e.viewAtLocked(gen, baseRows, sampleRows)
+}
+
+// viewAtLocked builds a replay view against generation gen. Caller holds
+// e.wmu and guarantees gen exists.
+func (e *Engine) viewAtLocked(gen uint64, baseRows, sampleRows int) *View {
+	cur := e.sample.Load()
+	src := cur.Data
+	if gen < cur.Gen {
+		src = e.retired[gen]
+	}
 	base := e.base.SnapshotAt(baseRows)
-	data := e.sample.Data.SnapshotAt(sampleRows)
-	smp := *e.sample
+	data := src.SnapshotAt(sampleRows)
+	smp := *cur
 	smp.Data = data
 	smp.BaseRows = base.Rows()
+	smp.Gen = gen
 	return &View{
 		Base:        base,
 		Sample:      &smp,
+		SampleGen:   gen,
 		BaseRows:    base.Rows(),
 		SampleRows:  data.Rows(),
 		baseEpoch:   base.Epoch(),
@@ -261,7 +302,8 @@ func (e *Engine) Append(batch *storage.Table, seed int64) (sampled int, err erro
 	if err := e.base.AppendByName(batch); err != nil {
 		return 0, err
 	}
-	k := int(float64(batch.Rows())*e.sample.Fraction + 0.5)
+	cur := e.sample.Load()
+	k := int(float64(batch.Rows())*cur.Fraction + 0.5)
 	if k > batch.Rows() {
 		k = batch.Rows()
 	}
@@ -269,11 +311,15 @@ func (e *Engine) Append(batch *storage.Table, seed int64) (sampled int, err erro
 		idx := randx.New(seed).Perm(batch.Rows())[:k]
 		sort.Ints(idx) // deterministic order independent of Perm internals
 		sub := batch.SelectRows(batch.Name()+"_sampled", idx)
-		if err := e.sample.Data.AppendByName(sub); err != nil {
+		if err := cur.Data.AppendByName(sub); err != nil {
 			return 0, err
 		}
 	}
-	e.sample.BaseRows = e.base.Rows()
+	// Copy-on-write republication of the Sample struct: lock-free readers
+	// of e.sample never observe the BaseRows update mid-write.
+	ns := *cur
+	ns.BaseRows = e.base.Rows()
+	e.sample.Store(&ns)
 	e.publishLocked()
 	return k, nil
 }

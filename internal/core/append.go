@@ -107,16 +107,17 @@ func bucketMeans(t *storage.Table, measure func(*storage.Table, int) float64, bu
 // oldRows and appendedRows are |r| and |r^a|. The covariance factorization
 // is invalidated (β changed on the diagonal); the next inference rebuilds.
 func (v *Verdict) ApplyAppend(id query.FuncID, drift Drift, oldRows, appendedRows int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.applyAppendLocked(id, drift, oldRows, appendedRows)
+	sh := v.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m, ok := sh.models[id]; ok {
+		m.applyAppend(drift, oldRows, appendedRows)
+	}
 }
 
-func (v *Verdict) applyAppendLocked(id query.FuncID, drift Drift, oldRows, appendedRows int) {
-	m, ok := v.models[id]
-	if !ok {
-		return
-	}
+// applyAppend performs Lemma 3's adjustment on one model. Caller holds the
+// owning shard's write lock.
+func (m *model) applyAppend(drift Drift, oldRows, appendedRows int) {
 	m.mutated()
 	m.detachEntries() // copy-on-write: published snapshots keep the old θ, β
 	ratio := float64(appendedRows) / float64(oldRows+appendedRows)
@@ -143,13 +144,15 @@ func (v *Verdict) OnAppend(old, appended *storage.Table, seed int64) {
 // merely samples of r and r^a: drift is estimated from the samples, while
 // Lemma 3's cardinality ratio uses the true |r| and |r^a|. The serving
 // layer uses the pre-append AQP sample as the sample of r.
+//
+// Drift estimation and adjustment run in parallel across shards (each
+// model's drift is estimated independently from the same sample pair and
+// seed, so the result is deterministic and invariant under NumShards).
 func (v *Verdict) OnAppendSampled(oldSample, appendedSample *storage.Table, oldRows, appendedRows int, seed int64) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for _, id := range v.order {
-		m := v.models[id]
+	ids := v.FuncIDs()
+	v.forEachModelParallel(ids, func(_ int, id query.FuncID, m *model) {
 		if len(m.entries) == 0 {
-			continue
+			return
 		}
 		var d Drift
 		if id.Kind == query.AvgAgg {
@@ -158,6 +161,6 @@ func (v *Verdict) OnAppendSampled(oldSample, appendedSample *storage.Table, oldR
 				d = EstimateDrift(oldSample, appendedSample, measure, 20, seed)
 			}
 		}
-		v.applyAppendLocked(id, d, oldRows, appendedRows)
-	}
+		m.applyAppend(d, oldRows, appendedRows)
+	})
 }

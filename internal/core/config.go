@@ -1,11 +1,3 @@
-// Package core implements Verdict itself: the query synopsis, the
-// maximum-entropy (multivariate normal) model over snippet answers, the
-// O(n²) inference of improved answers and errors (Eq. 4–5 via the block
-// forms of Eq. 11–12), model validation (Appendix B), offline correlation-
-// parameter learning (Appendix A), and the data-append generalization
-// (Appendix D). The package corresponds to the shaded "Inference / Query
-// Synopsis / Model / Learning" boxes of Figure 2; the AQP engine it wraps
-// lives in internal/aqp and stays a black box.
 package core
 
 import "repro/internal/mathx"
@@ -42,6 +34,12 @@ type Config struct {
 	// instead of the vectorized block pipeline — an ablation/debug switch;
 	// production configurations leave it false.
 	RowAtATimeScan bool
+	// NumShards is the number of synopsis shards (default 8). Models hash
+	// by aggregate function onto shards, each an independent single-writer
+	// domain, so Record/Train/append-adjustment throughput scales with
+	// cores on multi-function workloads. Purely a throughput knob: all
+	// results are invariant under the shard count (see shard.go).
+	NumShards int
 }
 
 // Defaults per the paper.
@@ -52,6 +50,7 @@ const (
 	DefaultValidationConfidence = 0.99
 	DefaultLearnCap             = 150
 	DefaultMultiStarts          = 3
+	DefaultNumShards            = 8
 )
 
 func (c Config) withDefaults() Config {
@@ -74,6 +73,9 @@ func (c Config) withDefaults() Config {
 		c.MultiStarts = 0
 	} else if c.MultiStarts == 0 {
 		c.MultiStarts = DefaultMultiStarts
+	}
+	if c.NumShards <= 0 {
+		c.NumShards = DefaultNumShards
 	}
 	return c
 }

@@ -1,1 +1,40 @@
+// Package core implements Verdict itself: the query synopsis, the
+// maximum-entropy (multivariate normal) model over snippet answers, the
+// O(n²) inference of improved answers and errors (Eq. 4–5 via the block
+// forms of Eq. 11–12), model validation (Appendix B), offline correlation-
+// parameter learning (Appendix A), and the data-append generalization
+// (Appendix D). The package corresponds to the shaded "Inference / Query
+// Synopsis / Model / Learning" boxes of Figure 2; the AQP engine it wraps
+// lives in internal/aqp and stays a black box. System is the facade wiring
+// the full pipeline (parse → check → decompose → scan → infer → record)
+// that examples, the CLI and the serving layer consume.
+//
+// # Concurrency invariants
+//
+// The synopsis is sharded by aggregate function: FuncID hashes
+// (process-stable FNV-1a) onto one of Config.NumShards shards, each an
+// independent single-writer domain guarded by its own RWMutex (shard.go).
+// Who locks what:
+//
+//   - Mutators of one function's model — Record, Train, SetParams,
+//     ApplyAppend, OnAppend(Sampled) — hold that function's shard write
+//     lock. Writers on different shards never contend.
+//   - Infer holds a shard read lock only to fetch the model's published
+//     *inferState; the O(n²) inference itself is lock-free.
+//   - The cross-shard registry (global creation order of functions plus the
+//     learning-seed counter) has its own mutex, regMu. Lock order is
+//     shard.mu → regMu, never the reverse.
+//   - System guards its workload counters with statsMu (read via
+//     StatsSnapshot), the live Verdict pointer with vmu (swapped by
+//     LoadSynopsis), and serializes Append/RebuildSample end-to-end with
+//     appendMu.
+//
+// What is immutable after publish: a model's published inferState (entries
+// slice, cloned parameters, Cholesky factor, prior mean) is frozen — every
+// mutator copies entries before any in-place edit (copy-on-write),
+// invalidates the snapshot, and the next publish rebuilds it. Any number
+// of goroutines may infer against a captured inferState without
+// synchronization. Results are invariant under NumShards: models are
+// independent and Train assigns seeds in global creation order before
+// fanning out per-shard.
 package core

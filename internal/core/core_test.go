@@ -286,7 +286,7 @@ func TestRepeatedSnippetKeepsBetterAnswer(t *testing.T) {
 	if keys := v.SynopsisKeys(id); len(keys) != 1 {
 		t.Fatalf("dedup failed: %d entries", len(keys))
 	}
-	m := v.models[id]
+	m := v.modelOf(id)
 	if m.entries[0].theta != 6 || m.entries[0].beta != 0.2 {
 		t.Fatalf("kept wrong answer: %+v", m.entries[0])
 	}
@@ -330,7 +330,7 @@ func TestIncrementalRecordMatchesRebuild(t *testing.T) {
 		a.Record(avgSnippet(tb, lo, lo+5), est)
 		b.Record(avgSnippet(tb, lo, lo+5), est)
 	}
-	b.models[id].chol = nil // force rebuild path
+	b.modelOf(id).chol = nil // force rebuild path
 
 	sn := avgSnippet(tb, 40, 50)
 	raw := query.ScalarEstimate{Value: 9, StdErr: 0.5}
@@ -387,7 +387,7 @@ func TestApplyAppendInflatesErrors(t *testing.T) {
 
 	drift := Drift{Mu: 2, Eta2: 1}
 	v.ApplyAppend(id, drift, 900, 100) // ratio = 0.1
-	e := v.models[id].entries[0]
+	e := v.modelOf(id).entries[0]
 	if math.Abs(e.theta-10.2) > 1e-9 {
 		t.Fatalf("theta=%v want 10.2", e.theta)
 	}
@@ -399,7 +399,7 @@ func TestApplyAppendInflatesErrors(t *testing.T) {
 	v2 := New(tb, Config{})
 	v2.Record(avgSnippet(tb, 10, 30), query.ScalarEstimate{Value: 10, StdErr: 0.5})
 	v2.ApplyAppend(id, drift, 500, 500) // ratio = 0.5
-	if v2.models[id].entries[0].beta <= e.beta {
+	if v2.modelOf(id).entries[0].beta <= e.beta {
 		t.Fatal("larger append ratio must inflate more")
 	}
 }
@@ -455,9 +455,9 @@ func TestOnAppendEndToEnd(t *testing.T) {
 		}
 	}
 	id := query.FuncID{Kind: query.AvgAgg, MeasureKey: "y"}
-	before := v.models[id].entries[0].beta
+	before := v.modelOf(id).entries[0].beta
 	v.OnAppend(tb, app, 1)
-	after := v.models[id].entries[0].beta
+	after := v.modelOf(id).entries[0].beta
 	if after <= before {
 		t.Fatalf("append did not inflate error: %v -> %v", before, after)
 	}

@@ -24,9 +24,15 @@ import (
 const snapshotVersion = 1
 
 type snapshotJSON struct {
-	Version int         `json:"version"`
-	Table   string      `json:"table"`
-	Models  []modelJSON `json:"models"`
+	Version int    `json:"version"`
+	Table   string `json:"table"`
+	// Shards records the shard count of the saving process. It is
+	// informational: models are keyed by function, the FuncID hash is
+	// process-stable, and Load distributes onto the *loading* config's
+	// shards — a snapshot saved at 16 shards loads fine at 1, and vice
+	// versa. Absent (0) in pre-sharding snapshots.
+	Shards int         `json:"shards,omitempty"`
+	Models []modelJSON `json:"models"`
 }
 
 type modelJSON struct {
@@ -61,13 +67,23 @@ type rangeJSON struct {
 // Save serializes the synopsis and learned parameters. The Cholesky
 // factorizations are not stored; Load rebuilds them (Algorithm 1's offline
 // precomputation is cheap relative to reacquiring a query history).
+//
+// Models are written in global creation order regardless of which shard
+// they live on, so the byte output is invariant under NumShards. Shards
+// are read-locked one at a time: each model is internally consistent (its
+// mutators are atomic under the shard lock), which is the only coherence a
+// snapshot needs — models never reference each other.
 func (v *Verdict) Save(w io.Writer) error {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	snap := snapshotJSON{Version: snapshotVersion, Table: v.table.Name()}
+	snap := snapshotJSON{Version: snapshotVersion, Table: v.table.Name(), Shards: len(v.shards)}
 	schema := v.table.Schema()
-	for _, id := range v.order {
-		m := v.models[id]
+	for _, id := range v.FuncIDs() {
+		sh := v.shardFor(id)
+		sh.mu.RLock()
+		m, ok := sh.models[id]
+		if !ok {
+			sh.mu.RUnlock()
+			continue
+		}
 		mj := modelJSON{
 			Kind:        id.Kind.String(),
 			MeasureKey:  id.MeasureKey,
@@ -104,6 +120,7 @@ func (v *Verdict) Save(w io.Writer) error {
 			}
 			mj.Entries = append(mj.Entries, ej)
 		}
+		sh.mu.RUnlock()
 		snap.Models = append(snap.Models, mj)
 	}
 	enc := json.NewEncoder(w)
@@ -158,9 +175,11 @@ func Load(r io.Reader, table *storage.Table, cfg Config) (*Verdict, error) {
 			}
 			params.Ells[col] = e.Value
 		}
+		// The new Verdict is private to this call: shard placement needs no
+		// locking yet, only the same hash Record/Infer will use later.
 		m := newModel(id, v.cfg, params)
 		m.paramsFixed = mj.ParamsFixed
-		v.models[id] = m
+		v.shardFor(id).models[id] = m
 		v.order = append(v.order, id)
 
 		for _, ej := range mj.Entries {
@@ -198,7 +217,7 @@ func Load(r io.Reader, table *storage.Table, cfg Config) (*Verdict, error) {
 	}
 	// Restore factorizations (Algorithm 1's precomputation).
 	for _, id := range v.order {
-		if err := v.models[id].rebuild(); err != nil {
+		if err := v.shardFor(id).models[id].rebuild(); err != nil {
 			return nil, fmt.Errorf("core: rebuilding %s: %w", id, err)
 		}
 	}

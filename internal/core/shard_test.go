@@ -1,0 +1,289 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// multiMeasureTable builds a relation with one dimension and nMeasures
+// measure columns, so workloads can exercise many aggregate functions
+// (each measure column is its own FuncID and hashes to its own shard).
+func multiMeasureTable(t testing.TB, rows, nMeasures int) *storage.Table {
+	t.Helper()
+	defs := []storage.ColumnDef{
+		{Name: "x", Kind: storage.Numeric, Role: storage.Dimension, Min: 0, Max: 100},
+	}
+	for i := 0; i < nMeasures; i++ {
+		defs = append(defs, storage.ColumnDef{
+			Name: fmt.Sprintf("m%d", i), Kind: storage.Numeric, Role: storage.Measure,
+		})
+	}
+	schema := storage.MustSchema(defs)
+	tb := storage.NewTable("multi", schema)
+	rng := randx.New(11)
+	vals := make([]storage.Value, len(defs))
+	for r := 0; r < rows; r++ {
+		x := rng.Uniform(0, 100)
+		vals[0] = storage.Num(x)
+		for i := 0; i < nMeasures; i++ {
+			vals[i+1] = storage.Num(float64(i+1)*10 + x + rng.Normal(0, 1))
+		}
+		if err := tb.AppendRow(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// measureSnippet builds an AVG(m<i>) snippet over x ∈ [lo, hi].
+func measureSnippet(tb *storage.Table, i int, lo, hi float64) *query.Snippet {
+	g := query.NewRegion(tb.Schema())
+	xcol, _ := tb.Schema().Lookup("x")
+	g.ConstrainNum(xcol, query.NumRange{Lo: lo, Hi: hi})
+	key := fmt.Sprintf("m%d", i)
+	mcol, _ := tb.Schema().Lookup(key)
+	return &query.Snippet{
+		Kind:       query.AvgAgg,
+		MeasureKey: key,
+		Measure:    func(t *storage.Table, row int) float64 { return t.NumAt(row, mcol) },
+		Region:     g,
+		Table:      tb,
+	}
+}
+
+// recordWorkload records nPerFunc snippets for each of nFuncs aggregate
+// functions, deterministically.
+func recordWorkload(t testing.TB, v *Verdict, tb *storage.Table, nFuncs, nPerFunc int) {
+	t.Helper()
+	rng := randx.New(23)
+	for k := 0; k < nPerFunc; k++ {
+		for i := 0; i < nFuncs; i++ {
+			lo := rng.Uniform(0, 90)
+			v.Record(measureSnippet(tb, i, lo, lo+rng.Uniform(3, 8)),
+				query.ScalarEstimate{Value: rng.Normal(float64(i+1)*10+50, 2), StdErr: 0.3})
+		}
+	}
+}
+
+// The shard count is a pure throughput knob: learned parameters, inferred
+// answers, synopsis keys and persisted bytes must be identical at 1, 4 and
+// 16 shards for the same workload.
+func TestShardCountInvariance(t *testing.T) {
+	tb := multiMeasureTable(t, 4000, 6)
+	build := func(shards int) *Verdict {
+		v := New(tb, Config{NumShards: shards})
+		recordWorkload(t, v, tb, 6, 8)
+		if err := v.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	ref := build(1)
+	probe := func(v *Verdict, i int) Improved {
+		return v.Infer(measureSnippet(tb, i, 40, 46), query.ScalarEstimate{Value: float64(i+1)*10 + 93, StdErr: 0.8})
+	}
+	var refSave bytes.Buffer
+	if err := ref.Save(&refSave); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the shard-count field for the byte comparison: it is the one
+	// intentionally shard-dependent datum in the snapshot.
+	norm := func(b []byte) []byte {
+		return bytes.Replace(b, []byte(`"shards": 16`), []byte(`"shards": 1`),
+			1)
+	}
+	for _, shards := range []int{4, 16} {
+		v := build(shards)
+		if v.NumShards() != shards {
+			t.Fatalf("NumShards=%d want %d", v.NumShards(), shards)
+		}
+		for i := 0; i < 6; i++ {
+			id := query.FuncID{Kind: query.AvgAgg, MeasureKey: fmt.Sprintf("m%d", i)}
+			rk, vk := ref.SynopsisKeys(id), v.SynopsisKeys(id)
+			if len(rk) != len(vk) {
+				t.Fatalf("shards=%d m%d: %d keys vs %d", shards, i, len(vk), len(rk))
+			}
+			for j := range rk {
+				if rk[j] != vk[j] {
+					t.Fatalf("shards=%d m%d key %d: %q vs %q", shards, i, j, vk[j], rk[j])
+				}
+			}
+			ri, vi := probe(ref, i), probe(v, i)
+			if ri.Answer != vi.Answer || ri.Err != vi.Err || ri.UsedModel != vi.UsedModel {
+				t.Fatalf("shards=%d m%d: infer %+v vs %+v", shards, i, vi, ri)
+			}
+		}
+		if ref.SnippetCount() != v.SnippetCount() {
+			t.Fatalf("snippet counts: %d vs %d", v.SnippetCount(), ref.SnippetCount())
+		}
+	}
+	// Persistence round-trips across shard counts: a 16-shard save loads
+	// onto 1 shard (and vice versa) with identical inference.
+	v16 := build(16)
+	var save16 bytes.Buffer
+	if err := v16.Save(&save16); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := norm(save16.Bytes()), refSave.Bytes(); !bytes.Equal(got, want) {
+		t.Fatal("save bytes differ between 1 and 16 shards")
+	}
+	loaded, err := Load(bytes.NewReader(save16.Bytes()), tb, Config{NumShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		ri, li := probe(ref, i), probe(loaded, i)
+		if ri.UsedModel != li.UsedModel || abs64(ri.Answer-li.Answer) > 1e-9 {
+			t.Fatalf("loaded m%d: %+v vs %+v", i, li, ri)
+		}
+	}
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Concurrent writers on distinct aggregate functions must be race-free and
+// lose nothing; cross-checks the per-shard accounting (meaningful under
+// -race).
+func TestShardedConcurrentRecordTrainInfer(t *testing.T) {
+	tb := multiMeasureTable(t, 2000, 8)
+	v := New(tb, Config{NumShards: 4})
+	const perFunc = 30
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := randx.New(int64(100 + i))
+			for k := 0; k < perFunc; k++ {
+				lo := rng.Uniform(0, 90)
+				v.Record(measureSnippet(tb, i, lo, lo+3),
+					query.ScalarEstimate{Value: rng.Normal(0, 1), StdErr: 0.5})
+				// Interleave lock-free reads with the writes.
+				_ = v.Infer(measureSnippet(tb, i, 20, 30), query.ScalarEstimate{Value: 0, StdErr: 1})
+				_ = v.SnippetCount()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := v.SnippetCount(); got != 8*perFunc {
+		t.Fatalf("SnippetCount=%d want %d", got, 8*perFunc)
+	}
+	if got := len(v.FuncIDs()); got != 8 {
+		t.Fatalf("FuncIDs=%d want 8", got)
+	}
+	stats := v.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats len=%d", len(stats))
+	}
+	snippets, funcs := 0, 0
+	for _, st := range stats {
+		snippets += st.Snippets
+		funcs += st.Functions
+	}
+	if snippets != 8*perFunc || funcs != 8 {
+		t.Fatalf("shard totals: %d snippets / %d funcs", snippets, funcs)
+	}
+	if err := v.Train(); err != nil {
+		t.Fatal(err)
+	}
+	inf := v.Infer(measureSnippet(tb, 3, 40, 43), query.ScalarEstimate{Value: 0.2, StdErr: 0.6})
+	if inf.Err <= 0 {
+		t.Fatalf("inference after concurrent build: %+v", inf)
+	}
+}
+
+// Eight distinct aggregate functions over the default 8 shards must spread
+// across more than one shard (the FNV hash does not collapse).
+func TestShardDistribution(t *testing.T) {
+	tb := multiMeasureTable(t, 500, 8)
+	v := New(tb, Config{})
+	if v.NumShards() != DefaultNumShards {
+		t.Fatalf("default shards=%d want %d", v.NumShards(), DefaultNumShards)
+	}
+	rng := randx.New(5)
+	for i := 0; i < 8; i++ {
+		v.Record(measureSnippet(tb, i, 10, 20), query.ScalarEstimate{Value: rng.Normal(0, 1), StdErr: 1})
+	}
+	nonEmpty := 0
+	for _, st := range v.ShardStats() {
+		if st.Functions > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 3 {
+		t.Fatalf("8 functions landed on %d shard(s); hash is collapsing", nonEmpty)
+	}
+}
+
+// Writer independence, proven deterministically (wall-clock scaling needs
+// cores, but lock independence does not): while one shard's writer lock is
+// held, a Record destined for a different shard completes; a Record for
+// the held shard blocks until release.
+func TestRecordCrossShardDoesNotBlock(t *testing.T) {
+	tb := multiMeasureTable(t, 500, 16)
+	v := New(tb, Config{NumShards: 4})
+	// Materialize models so shard assignment is observable.
+	for i := 0; i < 16; i++ {
+		v.Record(measureSnippet(tb, i, 10, 15), query.ScalarEstimate{Value: 1, StdErr: 1})
+	}
+	// Find two functions on different shards and one pair on the same.
+	shardOf := func(i int) int {
+		id := query.FuncID{Kind: query.AvgAgg, MeasureKey: fmt.Sprintf("m%d", i)}
+		return shardIndex(id, v.NumShards())
+	}
+	held := 0
+	other := -1
+	for i := 1; i < 16; i++ {
+		if shardOf(i) != shardOf(held) {
+			other = i
+			break
+		}
+	}
+	if other < 0 {
+		t.Fatal("all functions hashed to one shard")
+	}
+
+	sh := v.shards[shardOf(held)]
+	sh.mu.Lock() // simulate a long write on shard A (e.g. an O(n²) extension)
+
+	crossDone := make(chan struct{})
+	go func() {
+		v.Record(measureSnippet(tb, other, 20, 25), query.ScalarEstimate{Value: 1, StdErr: 1})
+		close(crossDone)
+	}()
+	select {
+	case <-crossDone:
+	case <-time.After(5 * time.Second):
+		sh.mu.Unlock()
+		t.Fatal("Record on a different shard blocked behind shard A's writer")
+	}
+
+	sameDone := make(chan struct{})
+	go func() {
+		v.Record(measureSnippet(tb, held, 20, 25), query.ScalarEstimate{Value: 1, StdErr: 1})
+		close(sameDone)
+	}()
+	select {
+	case <-sameDone:
+		t.Fatal("Record on the held shard did not serialize behind its writer")
+	case <-time.After(50 * time.Millisecond):
+	}
+	sh.mu.Unlock()
+	select {
+	case <-sameDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Record never completed after the shard writer released")
+	}
+}

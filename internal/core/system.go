@@ -36,8 +36,9 @@ type System struct {
 	// single-threaded callers.
 	Stats SystemStats
 
-	appendMu   sync.Mutex // serializes Append end-to-end (engine + synopsis)
-	appendSeed int64
+	appendMu    sync.Mutex // serializes Append/RebuildSample end-to-end
+	appendSeed  int64
+	rebuildSeed int64
 }
 
 // SystemStats counts processed queries by classification.
@@ -49,6 +50,7 @@ type SystemStats struct {
 	Snippets    int
 	Appends     int   // streaming append batches applied
 	AppendRows  int   // rows landed by streaming appends
+	Rebuilds    int   // sample rebuild epochs (RebuildSample calls)
 	InferenceNS int64 // cumulative wall-clock inference+record overhead
 }
 
@@ -144,6 +146,32 @@ func (s *System) Append(batch *storage.Table) (sampled int, err error) {
 	return sampled, nil
 }
 
+// SaveSynopsis serializes the synopsis while holding the append lock, so
+// the snapshot can never interleave with an in-flight Append's per-shard
+// Lemma 3 drift adjustments (some models adjusted, others not). The
+// serving layer's /save uses this; Verdict.Save alone is only as coherent
+// as each individual model.
+func (s *System) SaveSynopsis(w io.Writer) error {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	return s.Verdict().Save(w)
+}
+
+// RebuildSample re-shuffles the AQP sample back into a prefix-uniform
+// layout (see aqp.Engine.RebuildSample), undoing the tail-pile-up of
+// streamed appends. It serializes with Append; queries in flight keep
+// their pinned generation and replay via ViewAtGen. The synopsis needs no
+// adjustment — the sample's content is unchanged, only its order. Returns
+// the new sample generation and its row count.
+func (s *System) RebuildSample() (gen uint64, sampleRows int) {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	s.rebuildSeed++
+	gen = s.engine.RebuildSample(8_000_000+s.rebuildSeed, aqp.DefaultRebuildOptions())
+	s.bumpStats(func(st *SystemStats) { st.Rebuilds++ })
+	return gen, s.engine.Acquire().SampleRows
+}
+
 // AggregateCell is one user aggregate's answer in a result row.
 type AggregateCell struct {
 	Agg sqlparse.AggFunc
@@ -173,10 +201,13 @@ type Result struct {
 	SimTime  time.Duration
 	Overhead time.Duration
 	// Epoch identifies the engine view that served this query (0 for replay
-	// views); BaseRows/SampleRows pin the snapshot prefix, so
-	// ExecuteView(engine.ViewAt(BaseRows, SampleRows), SQL) replays the
-	// identical scan even after further appends.
+	// views); SampleGen is the sample generation and BaseRows/SampleRows
+	// pin the snapshot prefix, so
+	// ExecuteView(engine.ViewAtGen(SampleGen, BaseRows, SampleRows), SQL)
+	// replays the identical scan even after further appends and sample
+	// rebuilds.
 	Epoch      uint64
+	SampleGen  uint64
 	BaseRows   int
 	SampleRows int
 }
@@ -218,7 +249,8 @@ func (s *System) execute(view *aqp.View, sql string, budget time.Duration, recor
 	}
 	res := &Result{
 		SQL: sql, Supported: sup.OK, Reasons: sup.Reasons,
-		Epoch: view.Epoch, BaseRows: view.BaseRows, SampleRows: view.SampleRows,
+		Epoch: view.Epoch, SampleGen: view.SampleGen,
+		BaseRows: view.BaseRows, SampleRows: view.SampleRows,
 	}
 	if !sup.OK {
 		// Unsupported: Verdict bypasses inference and returns raw answers

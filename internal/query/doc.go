@@ -1,0 +1,23 @@
+// Package query turns parsed SQL into Verdict's internal representation:
+// query snippets (§2.1, Definition 1) whose selection predicates are
+// normalized into per-attribute regions — a numeric range per numeric
+// dimension attribute and a value set per categorical dimension attribute
+// (§4.1 and Appendix F.2). It also houses the supported-query type checker
+// (§2.2) that Table 3's generality measurement counts with, the
+// decomposition of grouped multi-aggregate queries into scalar snippets
+// (Figure 3), and the vectorized region evaluators (vectorize.go):
+// Region.MatchBlock filling reusable selection vectors column-at-a-time
+// and Region.PruneBlock giving tri-state zone-map verdicts.
+//
+// # Concurrency invariants
+//
+// The package has no locks because it has no shared mutable state: a
+// Region is built once (BindRegion/Constrain*) and read-only thereafter,
+// and a Snippet is immutable after construction — its canonical Key,
+// Region and compiled Measure function may be shared freely across
+// goroutines. The one rule callers must keep: evaluate snippets against a
+// frozen table snapshot (see internal/storage), since the lock-free row
+// accessors used by Matches/MatchBlock are only safe on a stable prefix.
+// MatchBlock's selection-vector buffers are caller-owned scratch — one per
+// worker, never shared between concurrent scans.
+package query

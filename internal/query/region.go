@@ -1,11 +1,3 @@
-// Package query turns parsed SQL into Verdict's internal representation:
-// query snippets (§2.1, Definition 1) whose selection predicates are
-// normalized into per-attribute regions — a numeric range per numeric
-// dimension attribute and a value set per categorical dimension attribute
-// (§4.1 and Appendix F.2). It also houses the supported-query type checker
-// (§2.2) that Table 3's generality measurement counts with, and the
-// decomposition of grouped multi-aggregate queries into scalar snippets
-// (Figure 3).
 package query
 
 import (

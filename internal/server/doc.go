@@ -1,0 +1,34 @@
+// Package server is the concurrent serving layer: it exposes the Verdict
+// pipeline (internal/core) as a long-running multi-session HTTP/JSON
+// service. N clients share one System — and therefore one synopsis, which
+// is the whole point of database learning: every client's queries make the
+// next client's answers better.
+//
+// Endpoints: POST /query, /append, /train, /rebuild (all behind admission
+// control), GET /stats, and POST /save, /load for synopsis persistence
+// inside a server-configured directory. See cmd/verdict-server and the
+// README operations guide for wire formats.
+//
+// # Concurrency invariants
+//
+// The Server itself holds no query state and takes no locks on the
+// request path; all shared-state discipline lives in core.System and
+// below (snapshot-isolated views, sharded copy-on-write synopsis). What
+// the server adds:
+//
+//   - Admission control: a buffered-channel semaphore of MaxInFlight
+//     worker slots gates /query, /append, /train and /rebuild; a request
+//     waits at most QueueWait before a 503, so overload degrades into
+//     fast rejections instead of unbounded queueing.
+//   - Counters (served, rejected, pendingRows, lastActivity) are atomics;
+//     the session registry has its own mutex and is LRU-capped.
+//   - The auto-rebuild goroutine (armed by RebuildAfterRows, stopped by
+//     Close) only ever calls System.RebuildSample, which serializes with
+//     appends; "quiet" is defined as no admitted request activity for
+//     RebuildQuiet, with activity stamped at admission and completion.
+//   - /save writes are write-then-rename: concurrent saves to one name
+//     race only on the atomic rename, never interleave bytes. /load swaps
+//     the live synopsis atomically; in-flight queries finish on the old
+//     one. Snapshot names are validated to bare file names, so clients
+//     can never reach the rest of the filesystem.
+package server

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,17 @@ type Config struct {
 	// server-side ({"generate": n}) from the workload the server was booted
 	// with — how verdict-cli's \append drives a remote server.
 	Generate func(n int, seed int64) (*storage.Table, error)
+	// RebuildAfterRows arms the background sample rebuild: once streamed
+	// appends have landed at least this many rows since the last rebuild,
+	// the server re-shuffles the sample back to prefix-uniformity during
+	// the next quiet period (see System.RebuildSample). 0 (the default)
+	// disables auto-rebuild; POST /rebuild always works.
+	RebuildAfterRows int
+	// RebuildQuiet is how long the server must have been idle (no admitted
+	// requests) before an armed auto-rebuild fires (default 2s).
+	RebuildQuiet time.Duration
+	// RebuildCheckEvery is the auto-rebuild poll interval (default 500ms).
+	RebuildCheckEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +61,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.RebuildQuiet <= 0 {
+		c.RebuildQuiet = 2 * time.Second
+	}
+	if c.RebuildCheckEvery <= 0 {
+		c.RebuildCheckEvery = 500 * time.Millisecond
 	}
 	return c
 }
@@ -65,9 +83,19 @@ type Server struct {
 	served   atomic.Int64 // requests admitted and executed
 	rejected atomic.Int64 // requests shed by admission control
 	genSeed  atomic.Int64 // seeds server-side batch generation
+
+	// Auto-rebuild state: appended rows since the last sample rebuild, the
+	// last admitted-request instant (unix nanos; "quiet" means no admitted
+	// traffic for RebuildQuiet), and the lifecycle of the poll goroutine.
+	pendingRows  atomic.Int64
+	lastActivity atomic.Int64
+	stop         chan struct{}
+	stopOnce     sync.Once
 }
 
-// New builds a Server around a (thread-safe) System.
+// New builds a Server around a (thread-safe) System. When
+// Config.RebuildAfterRows > 0 a background goroutine watches for quiet
+// periods and rebuilds the sample (stop it with Close).
 func New(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -77,18 +105,62 @@ func New(sys *core.System, cfg Config) *Server {
 		slots:    make(chan struct{}, cfg.MaxInFlight),
 		sessions: newSessionRegistry(),
 		start:    time.Now(),
+		stop:     make(chan struct{}),
 	}
+	s.lastActivity.Store(time.Now().UnixNano())
 	s.mux.HandleFunc("/query", s.admitted(s.handleQuery))
 	s.mux.HandleFunc("/append", s.admitted(s.handleAppend))
 	s.mux.HandleFunc("/train", s.admitted(s.handleTrain))
+	s.mux.HandleFunc("/rebuild", s.admitted(s.handleRebuild))
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/save", s.handleSave)
 	s.mux.HandleFunc("/load", s.handleLoad)
+	if cfg.RebuildAfterRows > 0 {
+		go s.autoRebuildLoop()
+	}
 	return s
 }
 
 // Handler returns the HTTP handler (mountable under httptest or net/http).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the background auto-rebuild goroutine (idempotent). It does
+// not drain in-flight requests — callers own the http.Server lifecycle.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// autoRebuildLoop fires System.RebuildSample once RebuildAfterRows
+// appended rows have accumulated and the server has been quiet for
+// RebuildQuiet — the "re-shuffle during quiet periods" policy. The rebuild
+// itself serializes with appends, so a request arriving mid-rebuild simply
+// queues behind it; quietness only gates *starting* one.
+func (s *Server) autoRebuildLoop() {
+	ticker := time.NewTicker(s.cfg.RebuildCheckEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		if s.pendingRows.Load() < int64(s.cfg.RebuildAfterRows) {
+			continue
+		}
+		// Quiet = nothing admitted recently AND nothing still executing: a
+		// long-running query holds its worker slot, and lastActivity only
+		// moves at admission/completion, so both checks are needed.
+		if len(s.slots) > 0 {
+			continue
+		}
+		idle := time.Duration(time.Now().UnixNano() - s.lastActivity.Load())
+		if idle < s.cfg.RebuildQuiet {
+			continue
+		}
+		s.pendingRows.Store(0)
+		s.sys.RebuildSample()
+	}
+}
 
 // admitted wraps a handler with the bounded worker pool: a request either
 // gets a slot within QueueWait or is shed with 503 so overload degrades
@@ -110,6 +182,10 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		s.served.Add(1)
+		// Mark activity at admission and at completion, so a long-running
+		// request keeps the server "busy" until it finishes.
+		s.lastActivity.Store(time.Now().UnixNano())
+		defer func() { s.lastActivity.Store(time.Now().UnixNano()) }()
 		h(w, r)
 	}
 }
@@ -153,6 +229,7 @@ type QueryResponse struct {
 	Reasons    []string `json:"reasons,omitempty"`
 	Rows       []Row    `json:"rows,omitempty"`
 	Epoch      uint64   `json:"epoch"`
+	SampleGen  uint64   `json:"sample_gen"`
 	BaseRows   int      `json:"base_rows"`
 	SampleRows int      `json:"sample_rows"`
 	SimTimeMS  float64  `json:"sim_time_ms"`
@@ -193,6 +270,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Supported:  res.Supported,
 		Reasons:    res.Reasons,
 		Epoch:      res.Epoch,
+		SampleGen:  res.SampleGen,
 		BaseRows:   res.BaseRows,
 		SampleRows: res.SampleRows,
 		SimTimeMS:  float64(res.SimTime) / float64(time.Millisecond),
@@ -306,6 +384,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.appends.Add(1)
+	s.pendingRows.Add(int64(appended))
 	view := s.sys.Engine().Acquire()
 	writeJSON(w, http.StatusOK, AppendResponse{
 		Session:    sess.ID,
@@ -314,6 +393,32 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		BaseRows:   view.BaseRows,
 		SampleRows: view.SampleRows,
 		Epoch:      view.Epoch,
+	})
+}
+
+// ---- /rebuild ----
+
+type RebuildResponse struct {
+	// Generation is the new sample generation (one rebuild = one epoch).
+	Generation uint64 `json:"generation"`
+	SampleRows int    `json:"sample_rows"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// handleRebuild forces a sample rebuild now (see System.RebuildSample),
+// regardless of the auto-rebuild thresholds — the operator's lever for a
+// planned quiet window. Queries in flight keep their pinned generation.
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.pendingRows.Store(0)
+	gen, rows := s.sys.RebuildSample()
+	writeJSON(w, http.StatusOK, RebuildResponse{
+		Generation: gen,
+		SampleRows: rows,
+		Epoch:      s.sys.Engine().Acquire().Epoch,
 	})
 }
 
@@ -390,7 +495,20 @@ type StatsResponse struct {
 		Snippets  int `json:"snippets"`
 		Functions int `json:"functions"`
 		Footprint int `json:"footprint_bytes"`
+		// NumShards and Shards expose the sharded synopsis layout: one
+		// entry per shard, in shard order (see core.Verdict.ShardStats).
+		NumShards int              `json:"num_shards"`
+		Shards    []core.ShardStat `json:"shards"`
 	} `json:"synopsis"`
+	Sample struct {
+		// Generation counts completed sample rebuilds (epoch swaps).
+		Generation uint64 `json:"generation"`
+		Rebuilds   int    `json:"rebuilds"`
+		// PendingRows is appended rows since the last rebuild; AutoAfterRows
+		// is the arming threshold (0 = auto-rebuild disabled).
+		PendingRows   int64 `json:"pending_rows"`
+		AutoAfterRows int   `json:"auto_after_rows"`
+	} `json:"sample"`
 	Server struct {
 		Sessions    int   `json:"sessions"`
 		MaxInFlight int   `json:"max_in_flight"`
@@ -409,11 +527,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Table.BaseRows = view.BaseRows
 	resp.Table.SampleRows = view.SampleRows
 	resp.Table.Epoch = view.Epoch
-	resp.System = s.sys.StatsSnapshot()
+	sysStats := s.sys.StatsSnapshot()
+	resp.System = sysStats
 	v := s.sys.Verdict()
-	resp.Synopsis.Snippets = v.SnippetCount()
-	resp.Synopsis.Functions = len(v.FuncIDs())
-	resp.Synopsis.Footprint = v.FootprintBytes()
+	// One ShardStats pass; the totals derive from it, so the three figures
+	// cannot disagree within a single response.
+	resp.Synopsis.NumShards = v.NumShards()
+	resp.Synopsis.Shards = v.ShardStats()
+	for _, sh := range resp.Synopsis.Shards {
+		resp.Synopsis.Snippets += sh.Snippets
+		resp.Synopsis.Functions += sh.Functions
+		resp.Synopsis.Footprint += sh.FootprintBytes
+	}
+	resp.Sample.Generation = view.SampleGen
+	resp.Sample.Rebuilds = sysStats.Rebuilds
+	resp.Sample.PendingRows = s.pendingRows.Load()
+	resp.Sample.AutoAfterRows = s.cfg.RebuildAfterRows
 	resp.Server.Sessions = s.sessions.len()
 	resp.Server.MaxInFlight = s.cfg.MaxInFlight
 	resp.Server.Served = s.served.Load()
@@ -471,7 +600,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer os.Remove(tmp.Name())
-	err = s.sys.Verdict().Save(tmp)
+	err = s.sys.SaveSynopsis(tmp)
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}

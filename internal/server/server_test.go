@@ -356,3 +356,107 @@ func TestServerAdmissionControl(t *testing.T) {
 		t.Fatalf("freed server returned %d", code)
 	}
 }
+
+func TestServerRebuildEndpointAndShardStats(t *testing.T) {
+	_, sys, ts := fixture(t, 20000, Config{})
+
+	// Warm the synopsis with a couple of functions so shard stats have
+	// something to show.
+	for _, sql := range []string{
+		"SELECT AVG(revenue) FROM sales WHERE week < 20",
+		"SELECT COUNT(*) FROM sales WHERE week > 30",
+	} {
+		if code := post(t, ts.URL+"/query", QueryRequest{SQL: sql}, nil); code != 200 {
+			t.Fatalf("query status %d", code)
+		}
+	}
+	// Stream an append so the sample has a tail to re-shuffle.
+	if code := post(t, ts.URL+"/append", AppendRequest{Generate: 3000}, nil); code != 200 {
+		t.Fatalf("append status %d", code)
+	}
+
+	// /rebuild must be POST-only and bump the sample generation.
+	if r, err := http.Get(ts.URL + "/rebuild"); err != nil || r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /rebuild: %v %v", err, r.StatusCode)
+	}
+	var rb RebuildResponse
+	if code := post(t, ts.URL+"/rebuild", struct{}{}, &rb); code != 200 {
+		t.Fatalf("rebuild status %d", code)
+	}
+	if rb.Generation != 1 || rb.SampleRows == 0 {
+		t.Fatalf("rebuild response %+v", rb)
+	}
+	if got := sys.Engine().SampleGen(); got != 1 {
+		t.Fatalf("engine generation %d after /rebuild", got)
+	}
+
+	// /stats reflects the sharded synopsis and the rebuild.
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Synopsis.NumShards != core.DefaultNumShards || len(st.Synopsis.Shards) != st.Synopsis.NumShards {
+		t.Fatalf("shard stats: num=%d len=%d", st.Synopsis.NumShards, len(st.Synopsis.Shards))
+	}
+	snips, funcs := 0, 0
+	for _, sh := range st.Synopsis.Shards {
+		snips += sh.Snippets
+		funcs += sh.Functions
+	}
+	if snips != st.Synopsis.Snippets || funcs != st.Synopsis.Functions {
+		t.Fatalf("per-shard totals (%d snippets, %d funcs) disagree with synopsis (%d, %d)",
+			snips, funcs, st.Synopsis.Snippets, st.Synopsis.Functions)
+	}
+	if st.Sample.Generation != 1 || st.Sample.Rebuilds != 1 {
+		t.Fatalf("sample stats %+v", st.Sample)
+	}
+	// Queries served now carry the new generation.
+	var qr QueryResponse
+	if code := post(t, ts.URL+"/query", QueryRequest{SQL: "SELECT AVG(revenue) FROM sales WHERE week < 20"}, &qr); code != 200 {
+		t.Fatalf("query status %d", code)
+	}
+	if qr.SampleGen != 1 {
+		t.Fatalf("query sample_gen=%d want 1", qr.SampleGen)
+	}
+}
+
+func TestServerAutoRebuildDuringQuietPeriod(t *testing.T) {
+	srv, sys, ts := fixture(t, 10000, Config{
+		RebuildAfterRows:  2000,
+		RebuildQuiet:      50 * time.Millisecond,
+		RebuildCheckEvery: 10 * time.Millisecond,
+	})
+	defer srv.Close()
+
+	// Below the threshold: no rebuild even when quiet.
+	if code := post(t, ts.URL+"/append", AppendRequest{Generate: 500}, nil); code != 200 {
+		t.Fatal("append failed")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if gen := sys.Engine().SampleGen(); gen != 0 {
+		t.Fatalf("rebuild fired below threshold (gen=%d)", gen)
+	}
+
+	// Cross the threshold, then go quiet: the background trigger fires.
+	if code := post(t, ts.URL+"/append", AppendRequest{Generate: 2500}, nil); code != 200 {
+		t.Fatal("append failed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Engine().SampleGen() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if gen := sys.Engine().SampleGen(); gen != 1 {
+		t.Fatalf("auto-rebuild did not fire (gen=%d)", gen)
+	}
+	if st := sys.StatsSnapshot(); st.Rebuilds != 1 {
+		t.Fatalf("Rebuilds=%d", st.Rebuilds)
+	}
+	// Close is idempotent and stops the loop.
+	srv.Close()
+	srv.Close()
+}

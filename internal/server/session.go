@@ -1,10 +1,3 @@
-// Package server is the concurrent serving layer: it exposes the Verdict
-// pipeline (internal/core) as a long-running multi-session HTTP/JSON
-// service. N clients share one System — and therefore one synopsis, which
-// is the whole point of database learning: every client's queries make the
-// next client's answers better. Queries run against snapshot-isolated
-// engine views while streaming appends land behind them; admission control
-// bounds the number of in-flight requests with a worker-slot semaphore.
 package server
 
 import (

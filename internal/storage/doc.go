@@ -1,0 +1,36 @@
+// Package storage implements the in-memory columnar store that plays the
+// role of the paper's data substrate (Spark SQL DataFrames over HDFS). A
+// Table is a named collection of typed columns over a single denormalized
+// relation — the paper's analysis is likewise "based on a denormalized
+// table" (§2.2) after foreign-key joins are folded in.
+//
+// Columns are either numeric (float64) or categorical (dictionary-encoded
+// int32 codes with a string dictionary). The schema distinguishes dimension
+// attributes (usable in predicates and GROUP BY) from measure attributes
+// (usable inside aggregates), matching §3.1. Tables are partitioned into
+// BlockSize-row blocks carrying zone maps (block.go) that the vectorized
+// scan prunes against.
+//
+// # Concurrency invariants
+//
+// Tables are append-only with an immutable schema. Who locks what:
+//
+//   - Appends (AppendRow, AppendTable, AppendByName) serialize on the
+//     table's internal mutex and bump the append epoch once per batch.
+//   - Snapshot/SnapshotAt, SelectRows, Domain and Stats take the read
+//     lock and may run concurrently with an append.
+//   - The per-cell accessors (NumAt, NumericCol, CodesCol, …) take no
+//     locks: concurrent readers must hold a frozen Snapshot view.
+//   - Dictionaries are grow-only and internally synchronized; they are
+//     shared between a table and all its snapshots and samples, and codes
+//     already handed out never change meaning.
+//
+// What is immutable after publish: a Snapshot is a frozen prefix view —
+// it shares the column backing arrays (appends only write past the
+// captured length, so reader and writer touch disjoint memory) and owns
+// private copies of everything an append mutates in place (slice headers,
+// zone maps, numeric domains). Mutating a snapshot returns ErrFrozen.
+// Because tables are append-only, SnapshotAt(n) taken at any later time is
+// row-for-row identical to a snapshot taken when the table held n rows —
+// the property every serial-replay audit in this repository rests on.
+package storage

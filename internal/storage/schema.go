@@ -1,13 +1,3 @@
-// Package storage implements the in-memory columnar store that plays the
-// role of the paper's data substrate (Spark SQL DataFrames over HDFS). A
-// Table is a named collection of typed columns over a single denormalized
-// relation — the paper's analysis is likewise "based on a denormalized
-// table" (§2.2) after foreign-key joins are folded in.
-//
-// Columns are either numeric (float64) or categorical (dictionary-encoded
-// int32 codes with a string dictionary). The schema distinguishes dimension
-// attributes (usable in predicates and GROUP BY) from measure attributes
-// (usable inside aggregates), matching §3.1.
 package storage
 
 import (
