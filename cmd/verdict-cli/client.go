@@ -31,7 +31,7 @@ func runClient(hostport string) {
 	fmt.Printf("table %s: %d rows (%d sampled), epoch %d\n",
 		st.Table.Name, st.Table.BaseRows, st.Table.SampleRows, st.Table.Epoch)
 	fmt.Printf("columns: %s\n", strings.Join(st.Table.Columns, ", "))
-	fmt.Println(`type SQL (single line), or \train, \stats, \append N, \quit`)
+	fmt.Println(`type SQL (single line; streams progressive increments), or \oneshot SQL, \exact SQL, \train, \stats, \append N, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -92,10 +92,71 @@ func runClient(hostport string) {
 			}
 		case strings.HasPrefix(line, `\exact `):
 			remoteQuery(hc, base, session, strings.TrimPrefix(line, `\exact `), true)
+		case strings.HasPrefix(line, `\oneshot `):
+			remoteQuery(hc, base, session, strings.TrimPrefix(line, `\oneshot `), false)
 		default:
-			remoteQuery(hc, base, session, line, false)
+			remoteStream(hc, base, session, line)
 		}
 	}
+}
+
+// remoteStream drives /query/stream: one progress line per increment as the
+// estimate converges, then the full answer at the final chunk. Servers
+// without the endpoint fall back to the one-shot /query.
+func remoteStream(hc *http.Client, base, session, sql string) {
+	body, err := json.Marshal(server.StreamRequest{SQL: sql, Session: session})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	resp, err := hc.Post(base+"/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		io.Copy(io.Discard, resp.Body)
+		remoteQuery(hc, base, session, sql, false)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Println("error:", decodeResponse(resp, nil))
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last server.StreamChunk
+	increments := 0
+	for sc.Scan() {
+		var c server.StreamChunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if !c.Supported {
+			fmt.Printf("unsupported query (bypassing learning): %s\n", strings.Join(c.Reasons, "; "))
+			return
+		}
+		last = c
+		increments++
+		if !c.Final {
+			fmt.Printf("  … %3.0f%%  %9d/%d sample rows   %.4g ± %.3g (raw ± %.3g)\n",
+				100*float64(c.RowsSeen)/float64(c.SampleRows), c.RowsSeen, c.SampleRows,
+				c.Estimate, c.CI, c.RawCI)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Println("stream error:", err)
+		return
+	}
+	if increments == 0 {
+		fmt.Println("stream ended without an answer")
+		return
+	}
+	printRows(last.Rows, false)
+	fmt.Printf("  epoch %d gen %d (%d base rows), %d increments, simulated AQP latency %.1fms, verdict overhead %.0fµs\n",
+		last.Epoch, last.SampleGen, last.BaseRows, increments, last.SimTimeMS, last.OverheadUS)
 }
 
 func remoteQuery(hc *http.Client, base, session, sql string, exact bool) {
@@ -109,7 +170,13 @@ func remoteQuery(hc *http.Client, base, session, sql string, exact bool) {
 		fmt.Printf("unsupported query (bypassing learning): %s\n", strings.Join(qr.Reasons, "; "))
 		return
 	}
-	for _, row := range qr.Rows {
+	printRows(qr.Rows, exact)
+	fmt.Printf("  epoch %d (%d base rows), simulated AQP latency %.1fms, verdict overhead %.0fµs\n",
+		qr.Epoch, qr.BaseRows, qr.SimTimeMS, qr.OverheadUS)
+}
+
+func printRows(rows []server.Row, exact bool) {
+	for _, row := range rows {
 		var parts []string
 		for _, g := range row.Group {
 			if g.Str != "" {
@@ -130,8 +197,6 @@ func remoteQuery(hc *http.Client, base, session, sql string, exact bool) {
 		}
 		fmt.Println("  " + strings.Join(parts, " | "))
 	}
-	fmt.Printf("  epoch %d (%d base rows), simulated AQP latency %.1fms, verdict overhead %.0fµs\n",
-		qr.Epoch, qr.BaseRows, qr.SimTimeMS, qr.OverheadUS)
 }
 
 func printServerStats(st server.StatsResponse) {

@@ -11,25 +11,33 @@
 //
 // Endpoints (JSON over HTTP):
 //
-//	POST /query   {"sql": "...", "session": "alice", "exact": false, "budget_ms": 0}
-//	POST /append  {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
-//	POST /train   {}
-//	POST /rebuild {}                         (re-shuffle the sample; epoch swap)
-//	GET  /stats                              (incl. per-shard synopsis + sample generation)
-//	POST /save    {"path": "synopsis.json"}  (file name inside -snapshot-dir)
-//	POST /load    {"path": "synopsis.json"}
+//	POST /query        {"sql": "...", "session": "alice", "exact": false, "budget_ms": 0}
+//	POST /query/stream {"sql": "...", "min_rows": 4096, "pace_ms": 0}   (NDJSON: one chunk per increment)
+//	POST /append       {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
+//	POST /train        {}
+//	POST /rebuild      {}                         (re-shuffle the sample; epoch swap)
+//	GET  /stats                                   (incl. per-shard synopsis + sample generation + in-flight)
+//	POST /save         {"path": "synopsis.json"}  (file name inside -snapshot-dir)
+//	POST /load         {"path": "synopsis.json"}
+//
+// SIGINT/SIGTERM begin a graceful drain: new requests are shed with 503
+// while in-flight queries and streams finish, bounded by -drain-timeout.
 //
 // Drive it interactively with: verdict-cli -connect localhost:8765
 // See the README operations guide for every flag and a curl quickstart.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/aqp"
@@ -52,6 +60,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "synopsis shards (0 = default 8); writer throughput scales with shards on multi-function workloads")
 		rebRows   = flag.Int("rebuild-after-rows", 0, "auto-rebuild the sample after this many appended rows land (0 disables auto-rebuild)")
 		rebQuiet  = flag.Duration("rebuild-quiet", 2*time.Second, "idle period required before an armed auto-rebuild fires")
+		drainWait = flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, how long to let in-flight queries and streams finish before closing")
 	)
 	flag.Parse()
 
@@ -82,13 +91,41 @@ func main() {
 	log.Printf("verdict-server on %s — %s (%d rows, %.0f%% sample, %d worker slots, %d synopsis shards)",
 		*addr, *dataset, table.Rows(), *fraction*100, *inflight, sys.Verdict().NumShards())
 	log.Printf("columns: %s", strings.Join(table.Schema().Names(), ", "))
-	log.Printf("endpoints: POST /query /append /train /rebuild /save /load, GET /stats")
+	log.Printf("endpoints: POST /query /query/stream /append /train /rebuild /save /load, GET /stats")
 	if *rebRows > 0 {
 		log.Printf("auto-rebuild: after %d appended rows, once idle for %v", *rebRows, *rebQuiet)
 	}
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal now kills the process the default way
+
+	// Graceful drain: shed new requests with 503, let in-flight queries and
+	// streams run to their final chunk (bounded by -drain-timeout), then
+	// close the listener and idle connections.
+	log.Printf("draining: finishing in-flight requests (up to %v; signal again to force quit)", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		_ = httpSrv.Close()
+	}
+	log.Printf("verdict-server stopped")
 }
 
 func buildTable(dataset string, rows int, seed int64) (*storage.Table, error) {

@@ -1,7 +1,11 @@
 // onlineagg demonstrates deployment scenario 1 (§7): an online-aggregation
-// engine refines its answer batch by batch, and the user stops as soon as
-// the error bound meets a target. With database learning, the target is met
-// after far fewer batches — the paper's speedup mechanism, live.
+// engine refines its answer over growing sample prefixes, and the user
+// stops as soon as the error bound meets a target. With database learning,
+// the target is met after far fewer rows — the paper's speedup mechanism,
+// live. The refinement loop is the real progressive pipeline
+// (aqp.ProgressiveScan over a doubling aqp.PrefixSchedule) that
+// verdict-server's /query/stream endpoint drives — not a simulation — so
+// every printed increment is replayable bit-for-bit via View.EvalPrefix.
 //
 //	go run ./examples/onlineagg
 package main
@@ -72,11 +76,13 @@ func main() {
 	exact := engine.Exact(sn)
 	alpha, _ := mathx.ConfidenceMultiplier(0.95)
 
-	fmt.Println("batch  sim-time   raw answer (±bound)        improved answer (±bound)")
+	fmt.Println("sample rows  sim-time   raw answer (±bound)        improved answer (±bound)")
 	var rawDone, impDone bool
-	engine.OnlineAggregate(snips, func(u aqp.BatchUpdate) bool {
+	ps := engine.Acquire().Progressive(snips)
+	for _, prefix := range aqp.PrefixSchedule(ps.Total(), 1024) {
+		u := ps.Step(prefix)
 		if !u.Valid[0] {
-			return true
+			continue
 		}
 		raw := aqp.Sanitize(u.Estimates[0])
 		inf := v.Infer(sn, raw)
@@ -91,10 +97,12 @@ func main() {
 			rawDone = true
 			note += "  <- NoLearn meets target"
 		}
-		fmt.Printf("%4d   %8s  %9.3f ±%5.2f%%         %9.3f ±%5.2f%%%s\n",
-			u.Batch, u.SimTime.Round(1e7), raw.Value, rawRel*100, inf.Answer, impRel*100, note)
-		return !(rawDone && impDone)
-	})
+		fmt.Printf("%11d   %8s  %9.3f ±%5.2f%%         %9.3f ±%5.2f%%%s\n",
+			u.Rows, u.SimTime.Round(1e7), raw.Value, rawRel*100, inf.Answer, impRel*100, note)
+		if rawDone && impDone {
+			break
+		}
+	}
 	fmt.Printf("\nexact answer: %.3f\n", exact)
 	if impDone && !rawDone {
 		fmt.Println("NoLearn never met the target within the sample — Verdict did.")

@@ -1,0 +1,214 @@
+package aqp
+
+import (
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Progressive (resumable) online aggregation. OnlineAggregate walks the
+// sample in fixed batches and re-estimates after each one, but its work is
+// tied to one callback-driven pass. ProgressiveScan restructures the
+// vectorized pipeline into an increment-yielding form the serving layer can
+// drive: the caller asks for growing prefix budgets (typically the doubling
+// PrefixSchedule), and the scan carries its per-unit moment partials across
+// increments, so emitting k increments over an n-row sample costs O(n) —
+// not O(n·k) — while every emitted estimate is float-identical to a fresh
+// scan of the same prefix.
+//
+// The identity holds because the vectorized scan's merge tree is a fixed
+// function of the scanned range: blocks partition into unitBlocks-sized
+// work units and per-unit partials merge in unit order (scan.go). A prefix
+// [0, P) therefore folds as (unit 0, unit 1, …, unit k-1, tail), where the
+// first k = P/unitRows units are complete and independent of P. The
+// resumable scan folds complete units into its carried accumulators exactly
+// once, and evaluates the (at most one-unit-sized) partial tail into a
+// private copy at each emission — the same fold sequence, hence the same
+// floating-point result, as a fresh View scan of [0, P). Replays via
+// Engine.ViewAtGen + View.EvalPrefix exploit this to audit any streamed
+// increment bit-for-bit after the fact.
+
+// unitRows is the row span of one complete work unit — the granule at which
+// the resumable scan folds finished partials into its carried accumulators.
+const unitRows = unitBlocks * storage.BlockSize
+
+// DefaultFirstPrefix is the first row budget of a default progressive
+// schedule: one storage block.
+const DefaultFirstPrefix = storage.BlockSize
+
+// PrefixSchedule returns the doubling prefix budgets progressive queries
+// use by default: first, 2·first, 4·first, …, ending with exactly total.
+// Doubling keeps the increment count logarithmic while the standard error
+// shrinks by ≈ 1/√2 per emitted increment. first <= 0 selects
+// DefaultFirstPrefix; a total of zero yields a single empty increment.
+func PrefixSchedule(total, first int) []int {
+	if total <= 0 {
+		return []int{0}
+	}
+	if first <= 0 {
+		first = DefaultFirstPrefix
+	}
+	var out []int
+	for p := first; p < total; p *= 2 {
+		out = append(out, p)
+	}
+	return append(out, total)
+}
+
+// Increment is one progressive answer: the current estimates after some
+// prefix of the sample, plus enough provenance to replay it later.
+type Increment struct {
+	// Estimates holds the per-snippet raw answers; Valid[i] is false while
+	// snippet i has no usable estimate yet.
+	Estimates []query.ScalarEstimate
+	Valid     []bool
+	// Rows is the sample prefix [0, Rows) this increment reflects; Total is
+	// the view's full sample size.
+	Rows  int
+	Total int
+	// SimTime is the simulated AQP latency of scanning the prefix.
+	SimTime time.Duration
+	// Seq counts emitted increments (0-based); Final marks the increment
+	// that consumed the whole sample.
+	Seq   int
+	Final bool
+}
+
+// ProgressiveScan evaluates snippets over growing prefixes of one pinned
+// view's sample. It is single-caller state (drive it from one goroutine);
+// the underlying view is immutable, so appends and sample rebuilds landing
+// mid-stream never affect the increments it emits.
+type ProgressiveScan struct {
+	view    *View
+	metas   []snipMeta
+	accs    []*accumulator // complete-unit folds, carried across steps
+	workers int            // worker cap for unit folds; 0 = GOMAXPROCS
+	folded  int            // rows folded into accs (unit-aligned when vectorized)
+	emitted int            // last emitted prefix
+	seq     int
+}
+
+// Progressive starts a resumable evaluation of the snippets against this
+// view's sample. Drive it with Step, typically over PrefixSchedule budgets.
+func (v *View) Progressive(snips []*query.Snippet) *ProgressiveScan {
+	accs := make([]*accumulator, len(snips))
+	for i, sn := range snips {
+		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
+	}
+	return &ProgressiveScan{view: v, metas: metaOf(accs), accs: accs}
+}
+
+// SetWorkers caps the fan-out used to fold newly completed units (0 = one
+// worker per core). The result is identical for any cap — the unit
+// partition and merge order never depend on it.
+func (p *ProgressiveScan) SetWorkers(n int) { p.workers = n }
+
+// Total is the pinned sample size: the prefix at which Step turns Final.
+func (p *ProgressiveScan) Total() int { return p.view.SampleRows }
+
+// Done reports whether a Final increment has been emitted.
+func (p *ProgressiveScan) Done() bool { return p.seq > 0 && p.emitted >= p.view.SampleRows }
+
+// Step advances the scan to the prefix [0, rows) and returns the refreshed
+// estimates. rows is clamped to [previous prefix, Total]; a non-advancing
+// step re-emits the current estimates. Complete work units newly covered by
+// the prefix are folded into the carried accumulators (in unit order, in
+// parallel); a mid-unit tail is evaluated into a private copy so the carry
+// stays unit-aligned — total work across any monotone step sequence is
+// O(Total + steps·unitRows).
+func (p *ProgressiveScan) Step(rows int) Increment {
+	total := p.view.SampleRows
+	if rows > total {
+		rows = total
+	}
+	if rows < p.emitted {
+		rows = p.emitted
+	}
+	data := p.view.Sample.Data
+	emit := p.accs
+	if p.view.mode == ScanRowAtATime {
+		// The row-at-a-time fold is sequential per accumulator, so plain
+		// continuation reproduces a fresh prefix scan exactly.
+		scanRows(data, p.accs, p.folded, rows)
+		p.folded = rows
+	} else {
+		fullUnits := rows / unitRows
+		doneUnits := p.folded / unitRows
+		if fullUnits > doneUnits {
+			for _, part := range scanUnits(data, p.metas, doneUnits, fullUnits, 0, rows, p.workers) {
+				merge(p.accs, part)
+			}
+			p.folded = fullUnits * unitRows
+		}
+		if rows > p.folded {
+			// Partial tail unit (at most unitBlocks blocks): fold into a
+			// private copy; the carried accumulators stay unit-aligned so a
+			// later step can re-cover the grown tail from scratch.
+			var sc blockScanner
+			blo := p.folded / storage.BlockSize
+			bhi := (rows-1)/storage.BlockSize + 1
+			tail := sc.scanRange(data, p.metas, blo, bhi, 0, rows)
+			emit = cloneAccs(p.accs)
+			merge(emit, tail)
+		}
+	}
+	p.emitted = rows
+	inc := Increment{
+		Estimates: make([]query.ScalarEstimate, len(emit)),
+		Valid:     make([]bool, len(emit)),
+		Rows:      rows,
+		Total:     total,
+		SimTime:   p.view.cost.QueryTime(rows),
+		Seq:       p.seq,
+		Final:     rows >= total,
+	}
+	for i, a := range emit {
+		inc.Estimates[i], inc.Valid[i] = a.estimate()
+	}
+	p.seq++
+	return inc
+}
+
+// cloneAccs deep-copies the accumulators (Moments is a value field, so a
+// struct copy suffices; the snippet pointer is shared).
+func cloneAccs(accs []*accumulator) []*accumulator {
+	out := make([]*accumulator, len(accs))
+	for i, a := range accs {
+		c := *a
+		out[i] = &c
+	}
+	return out
+}
+
+// EvalPrefix evaluates the snippets over the sample prefix [0, rows) with
+// one fresh scan — float-identical to the Increment a ProgressiveScan emits
+// at the same prefix. It is the replay comparator for streamed increments:
+// reconstruct the serving view with Engine.ViewAtGen from a chunk's
+// (sample_gen, base_rows, sample_rows), then EvalPrefix at its rows_seen.
+func (v *View) EvalPrefix(snips []*query.Snippet, rows int) Increment {
+	total := v.SampleRows
+	if rows > total {
+		rows = total
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	accs := make([]*accumulator, len(snips))
+	for i, sn := range snips {
+		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
+	}
+	v.scan(v.Sample.Data, accs, 0, rows)
+	inc := Increment{
+		Estimates: make([]query.ScalarEstimate, len(accs)),
+		Valid:     make([]bool, len(accs)),
+		Rows:      rows,
+		Total:     total,
+		SimTime:   v.cost.QueryTime(rows),
+		Final:     rows >= total,
+	}
+	for i, a := range accs {
+		inc.Estimates[i], inc.Valid[i] = a.estimate()
+	}
+	return inc
+}

@@ -86,15 +86,28 @@ func scanVectorized(data *storage.Table, accs []*accumulator, start, end int) {
 	b1 := (end - 1) / storage.BlockSize // inclusive
 	nblocks := b1 - b0 + 1
 	units := (nblocks + unitBlocks - 1) / unitBlocks
-	parts := make([][]partial, units)
+	parts := scanUnits(data, metas, 0, units, start, end, 0)
+	// Merge per-unit partials in unit order: the merge tree depends only on
+	// the scanned range, not on scheduling or core count.
+	for _, p := range parts {
+		merge(accs, p)
+	}
+}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > units {
-		workers = units
+// scanUnits computes the per-unit partials for work units [u0, u1) of the
+// scan of rows [start, end), fanning out across at most maxWorkers workers
+// (0 = GOMAXPROCS). Unit u covers blocks [b0+u·unitBlocks, b0+(u+1)·unitBlocks)
+// with b0 = start/BlockSize — a fixed partition of the scanned range, so the
+// returned partials are independent of the worker count and of scheduling.
+// ProgressiveScan resumes a scan by asking for later unit ranges of the same
+// (start, end-extended) partition.
+func scanUnits(data *storage.Table, metas []snipMeta, u0, u1, start, end, maxWorkers int) [][]partial {
+	if u1 <= u0 {
+		return nil
 	}
-	if maxW := (end - start + minRowsPerWorker - 1) / minRowsPerWorker; workers > maxW {
-		workers = maxW
-	}
+	b0 := start / storage.BlockSize
+	b1 := (end - 1) / storage.BlockSize // inclusive
+	parts := make([][]partial, u1-u0)
 	unitRange := func(u int) (int, int) {
 		blo := b0 + u*unitBlocks
 		bhi := blo + unitBlocks
@@ -103,37 +116,44 @@ func scanVectorized(data *storage.Table, accs []*accumulator, start, end int) {
 		}
 		return blo, bhi
 	}
+	units := u1 - u0
+	workers := maxWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > units {
+		workers = units
+	}
+	if maxW := (end - start + minRowsPerWorker - 1) / minRowsPerWorker; workers > maxW {
+		workers = maxW
+	}
 	if workers <= 1 {
 		var sc blockScanner
-		for u := 0; u < units; u++ {
+		for u := u0; u < u1; u++ {
 			blo, bhi := unitRange(u)
-			parts[u] = sc.scanRange(data, metas, blo, bhi, start, end)
+			parts[u-u0] = sc.scanRange(data, metas, blo, bhi, start, end)
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var sc blockScanner
-				for {
-					u := int(next.Add(1)) - 1
-					if u >= units {
-						return
-					}
-					blo, bhi := unitRange(u)
-					parts[u] = sc.scanRange(data, metas, blo, bhi, start, end)
+		return parts
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc blockScanner
+			for {
+				u := u0 + int(next.Add(1)) - 1
+				if u >= u1 {
+					return
 				}
-			}()
-		}
-		wg.Wait()
+				blo, bhi := unitRange(u)
+				parts[u-u0] = sc.scanRange(data, metas, blo, bhi, start, end)
+			}
+		}()
 	}
-	// Merge per-unit partials in unit order: the merge tree depends only on
-	// the scanned range, not on scheduling or core count.
-	for _, p := range parts {
-		merge(accs, p)
-	}
+	wg.Wait()
+	return parts
 }
 
 func merge(accs []*accumulator, parts []partial) {

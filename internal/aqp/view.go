@@ -101,25 +101,13 @@ func (v *View) RunToCompletion(snips []*query.Snippet) BatchUpdate {
 // predicting the largest scannable prefix from the cost model (§7,
 // deployment scenario 2, and Appendix C.2's NoLearn).
 func (v *View) TimeBound(snips []*query.Snippet, budget time.Duration) BatchUpdate {
-	rows := v.cost.RowsWithin(budget)
-	if rows > v.Sample.Data.Rows() {
-		rows = v.Sample.Data.Rows()
+	inc := v.EvalPrefix(snips, v.cost.RowsWithin(budget))
+	return BatchUpdate{
+		Estimates:   inc.Estimates,
+		Valid:       inc.Valid,
+		RowsScanned: inc.Rows,
+		SimTime:     inc.SimTime,
 	}
-	accs := make([]*accumulator, len(snips))
-	for i, sn := range snips {
-		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
-	}
-	v.scan(v.Sample.Data, accs, 0, rows)
-	upd := BatchUpdate{
-		Estimates:   make([]query.ScalarEstimate, len(accs)),
-		Valid:       make([]bool, len(accs)),
-		RowsScanned: rows,
-		SimTime:     v.cost.QueryTime(rows),
-	}
-	for i, a := range accs {
-		upd.Estimates[i], upd.Valid[i] = a.estimate()
-	}
-	return upd
 }
 
 // Exact computes the snippet's exact answer on the view's base relation —

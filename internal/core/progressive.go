@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/aqp"
+)
+
+// Progressive query execution: the online-aggregation pipeline behind the
+// serving layer's /query/stream. One stream pins one engine view (snapshot
+// isolation against appends and sample rebuilds) and one InferSnapshot
+// (coherent Bayesian adjustment against a fixed synopsis), then walks the
+// sample in growing prefix increments; every partial answer carries the
+// model-improved estimate and its shrinking confidence interval. The raw
+// side of each increment is replayable bit-for-bit afterwards via
+// Engine.ViewAtGen + ExecuteViewPrefix.
+
+// Progress describes one emitted progressive increment.
+type Progress struct {
+	// Seq is the 0-based increment index; Rows is the sample prefix the
+	// increment reflects, out of SampleRows total.
+	Seq        int
+	Rows       int
+	SampleRows int
+	// SimTime is the simulated AQP latency of the prefix scanned so far.
+	SimTime time.Duration
+	// Final marks the increment that consumed the whole sample.
+	Final bool
+}
+
+// ProgressiveOptions tunes ExecuteProgressive.
+type ProgressiveOptions struct {
+	// FirstRows is the first increment's row budget, doubling thereafter;
+	// <= 0 selects aqp.DefaultFirstPrefix.
+	FirstRows int
+	// Schedule, when non-empty, is an explicit list of prefix budgets and
+	// overrides FirstRows.
+	Schedule []int
+	// Workers caps the per-increment scan fan-out (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ExecuteProgressive runs one SQL query as an online-aggregation stream:
+// yield is invoked once per increment with a complete Result (raw and
+// improved cells for every group) and its Progress. The stream stops when
+// the sample is exhausted (the Final increment, which is then recorded into
+// the synopsis exactly as Execute would record it), when yield returns
+// false (accuracy is good enough — nothing is recorded, since a partial
+// prefix must not teach the synopsis a full-sample answer), or when ctx is
+// cancelled between increments (client gone; nothing recorded, error
+// returned). Unsupported queries return a terminal Result without yielding.
+func (s *System) ExecuteProgressive(ctx context.Context, sql string, opts ProgressiveOptions, yield func(*Result, Progress) bool) (*Result, error) {
+	view := s.engine.Acquire()
+	verdict := s.Verdict()
+	pl, res, err := s.plan(view, sql, true)
+	if err != nil || pl == nil {
+		return res, err
+	}
+	emitted := 0
+	defer func() {
+		s.bumpStats(func(st *SystemStats) {
+			st.Progressive++
+			st.Increments += emitted
+		})
+	}()
+
+	snap := verdict.SnapshotFor(pl.snips)
+	ps := view.Progressive(pl.snips)
+	if opts.Workers > 0 {
+		ps.SetWorkers(opts.Workers)
+	}
+	sched := opts.Schedule
+	if len(sched) == 0 {
+		sched = aqp.PrefixSchedule(view.SampleRows, opts.FirstRows)
+	}
+
+	var inferNS int64
+	var last *Result
+	for _, prefix := range sched {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		inc := ps.Step(prefix)
+		t0 := time.Now()
+		improved, usedModel, improvedCount := inferAll(snap, pl.snips, inc.Estimates)
+		inferNS += time.Since(t0).Nanoseconds()
+		r := &Result{
+			SQL: sql, Supported: true,
+			Epoch: view.Epoch, SampleGen: view.SampleGen,
+			BaseRows: view.BaseRows, SampleRows: view.SampleRows,
+			SimTime:  inc.SimTime,
+			Overhead: time.Duration(inferNS),
+		}
+		if r.Rows, err = composeRows(pl, inc.Estimates, improved, usedModel); err != nil {
+			return nil, err
+		}
+		emitted++
+		last = r
+		// Final means the sample really was exhausted (inc.Final), never
+		// merely "last schedule entry": an explicit short Schedule must not
+		// record its partial-prefix estimate as a full-sample answer.
+		if inc.Final {
+			// Full sample consumed: the raw answers are exactly what Execute
+			// would have recorded.
+			for j, sn := range pl.snips {
+				if inc.Valid[j] {
+					verdict.Record(sn, aqp.Sanitize(inc.Estimates[j]))
+				}
+			}
+			s.bumpStats(func(st *SystemStats) {
+				st.Improved += improvedCount
+				st.InferenceNS += inferNS
+			})
+		}
+		cont := yield(r, Progress{
+			Seq: inc.Seq, Rows: inc.Rows, SampleRows: view.SampleRows,
+			SimTime: inc.SimTime, Final: inc.Final,
+		})
+		if inc.Final || !cont {
+			return r, nil
+		}
+	}
+	// An explicit Schedule ended before the sample was exhausted: return the
+	// last partial answer; nothing was recorded.
+	return last, nil
+}
+
+// ExecuteViewPrefix replays the increment a progressive query emitted at a
+// given sample prefix: one fresh scan of [0, rows) against an explicit
+// (usually ViewAtGen-reconstructed) view. Replays are side-effect-free —
+// nothing is recorded and no counters move. Raw answers are float-identical
+// to the streamed increment; improved answers reflect the synopsis at
+// replay time, which has typically learned more since.
+func (s *System) ExecuteViewPrefix(view *aqp.View, sql string, rows int) (*Result, error) {
+	pl, res, err := s.plan(view, sql, false)
+	if err != nil || pl == nil {
+		return res, err
+	}
+	inc := view.EvalPrefix(pl.snips, rows)
+	improved, usedModel, _ := inferAll(s.Verdict().SnapshotFor(pl.snips), pl.snips, inc.Estimates)
+	if res.Rows, err = composeRows(pl, inc.Estimates, improved, usedModel); err != nil {
+		return nil, err
+	}
+	res.SimTime = inc.SimTime
+	return res, nil
+}

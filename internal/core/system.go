@@ -51,6 +51,8 @@ type SystemStats struct {
 	Appends     int   // streaming append batches applied
 	AppendRows  int   // rows landed by streaming appends
 	Rebuilds    int   // sample rebuild epochs (RebuildSample calls)
+	Progressive int   // queries served through ExecuteProgressive
+	Increments  int   // progressive increments emitted across all streams
 	InferenceNS int64 // cumulative wall-clock inference+record overhead
 }
 
@@ -232,11 +234,26 @@ func (s *System) ExecuteView(view *aqp.View, sql string) (*Result, error) {
 	return s.execute(view, sql, 0, false)
 }
 
-func (s *System) execute(view *aqp.View, sql string, budget time.Duration, record bool) (*Result, error) {
-	verdict := s.Verdict()
+// queryPlan is the parsed, checked, decomposed form of one SQL query
+// against a pinned view — everything evaluation needs, independent of how
+// the scan is driven (one-shot, time-bound or progressive increments).
+type queryPlan struct {
+	view *aqp.View
+	decs []*query.Decomposition
+	// snips flattens the snippet list across groups for one shared scan;
+	// offsets[i] is group i's first snippet index within it.
+	snips   []*query.Snippet
+	offsets []int
+}
+
+// plan parses, checks and decomposes sql against the view, bumping the
+// workload counters when record is set. On success the returned Result is
+// the pre-filled header (provenance, support verdict); a nil plan with a
+// nil error means the query is unsupported and the Result is terminal.
+func (s *System) plan(view *aqp.View, sql string, record bool) (*queryPlan, *Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sup := query.Check(stmt)
 	if record {
@@ -256,13 +273,13 @@ func (s *System) execute(view *aqp.View, sql string, budget time.Duration, recor
 		// Unsupported: Verdict bypasses inference and returns raw answers
 		// untouched (§2.2); for this engine the raw path requires a
 		// supported shape anyway, so unsupported queries yield no rows.
-		return res, nil
+		return nil, res, nil
 	}
 	// The view's frozen base table is the query's whole world: snippets,
 	// domains and cardinalities all resolve against the same stable prefix.
 	table := view.Base
 	if stmt.Table != table.Name() && stmt.Table != "" {
-		return nil, fmt.Errorf("core: query targets %q, engine holds %q", stmt.Table, table.Name())
+		return nil, nil, fmt.Errorf("core: query targets %q, engine holds %q", stmt.Table, table.Name())
 	}
 	if record {
 		s.bumpStats(func(st *SystemStats) { st.Supported++ })
@@ -273,25 +290,23 @@ func (s *System) execute(view *aqp.View, sql string, budget time.Duration, recor
 	for _, g := range stmt.GroupBy {
 		col, ok := table.Schema().Lookup(g.Name)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown group column %s", g.Name)
+			return nil, nil, fmt.Errorf("core: unknown group column %s", g.Name)
 		}
 		groupCols = append(groupCols, col)
 	}
 	baseRegion, err := query.BindRegion(stmt.Where, table)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	groups, err := view.GroupRows(groupCols, baseRegion)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	decs, err := query.Decompose(stmt, table, groups, s.cfg.Nmax)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-
-	// Flatten the snippet list across groups for one shared scan.
 	var snips []*query.Snippet
 	offsets := make([]int, len(decs))
 	for i, d := range decs {
@@ -301,21 +316,61 @@ func (s *System) execute(view *aqp.View, sql string, budget time.Duration, recor
 	if record {
 		s.bumpStats(func(st *SystemStats) { st.Snippets += len(snips) })
 	}
+	return &queryPlan{view: view, decs: decs, snips: snips, offsets: offsets}, res, nil
+}
+
+// composeRows recomposes user aggregates per group row from per-snippet raw
+// and improved estimates.
+func composeRows(pl *queryPlan, raw, improved []query.ScalarEstimate, usedModel []bool) ([]ResultRow, error) {
+	tableRows := pl.view.Base.Rows()
+	var out []ResultRow
+	for i, d := range pl.decs {
+		row := ResultRow{Group: d.Group}
+		for _, ua := range d.Aggregates {
+			cell := AggregateCell{Agg: ua.Agg}
+			rawAvg, rawFreq := pick(raw, pl.offsets[i], ua)
+			impAvg, impFreq := pick(improved, pl.offsets[i], ua)
+			var err error
+			cell.Raw, err = query.ComposeAggregate(ua.Agg, aqp.Sanitize(rawAvg), aqp.Sanitize(rawFreq), tableRows)
+			if err != nil {
+				return nil, err
+			}
+			cell.Improved, err = query.ComposeAggregate(ua.Agg, impAvg, impFreq, tableRows)
+			if err != nil {
+				return nil, err
+			}
+			cell.UsedModel = cellUsedModel(usedModel, pl.offsets[i], ua)
+			row.Cells = append(row.Cells, cell)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (s *System) execute(view *aqp.View, sql string, budget time.Duration, record bool) (*Result, error) {
+	verdict := s.Verdict()
+	pl, res, err := s.plan(view, sql, record)
+	if err != nil || pl == nil {
+		return res, err
+	}
 
 	var upd aqp.BatchUpdate
 	if budget > 0 {
-		upd = view.TimeBound(snips, budget)
+		upd = view.TimeBound(pl.snips, budget)
 	} else {
-		upd = view.RunToCompletion(snips)
+		upd = view.RunToCompletion(pl.snips)
 	}
 	res.SimTime = upd.SimTime
 
 	// Inference + synopsis updates (the Verdict overhead §8.5 measures).
+	// Infer and Record interleave deliberately: within one query, later
+	// snippets see the synopsis grown by earlier ones — progressive streams
+	// instead pin one InferSnapshot so their error bounds evolve coherently.
 	t0 := time.Now()
-	improved := make([]query.ScalarEstimate, len(snips))
-	usedModel := make([]bool, len(snips))
+	improved := make([]query.ScalarEstimate, len(pl.snips))
+	usedModel := make([]bool, len(pl.snips))
 	improvedCount := 0
-	for i, sn := range snips {
+	for i, sn := range pl.snips {
 		raw := aqp.Sanitize(upd.Estimates[i])
 		inf := verdict.Infer(sn, raw)
 		improved[i] = query.ScalarEstimate{Value: inf.Answer, StdErr: inf.Err}
@@ -336,25 +391,9 @@ func (s *System) execute(view *aqp.View, sql string, budget time.Duration, recor
 		})
 	}
 
-	// Recompose user aggregates per group row.
-	for i, d := range decs {
-		row := ResultRow{Group: d.Group}
-		for _, ua := range d.Aggregates {
-			cell := AggregateCell{Agg: ua.Agg}
-			rawAvg, rawFreq := pick(upd.Estimates, offsets[i], ua)
-			impAvg, impFreq := pick(improved, offsets[i], ua)
-			cell.Raw, err = query.ComposeAggregate(ua.Agg, aqp.Sanitize(rawAvg), aqp.Sanitize(rawFreq), table.Rows())
-			if err != nil {
-				return nil, err
-			}
-			cell.Improved, err = query.ComposeAggregate(ua.Agg, impAvg, impFreq, table.Rows())
-			if err != nil {
-				return nil, err
-			}
-			cell.UsedModel = cellUsedModel(usedModel, offsets[i], ua)
-			row.Cells = append(row.Cells, cell)
-		}
-		res.Rows = append(res.Rows, row)
+	res.Rows, err = composeRows(pl, upd.Estimates, improved, usedModel)
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -4,7 +4,8 @@
 // is the whole point of database learning: every client's queries make the
 // next client's answers better.
 //
-// Endpoints: POST /query, /append, /train, /rebuild (all behind admission
+// Endpoints: POST /query, /query/stream (progressive online aggregation as
+// chunked NDJSON), /append, /train, /rebuild (all behind admission
 // control), GET /stats, and POST /save, /load for synopsis persistence
 // inside a server-configured directory. See cmd/verdict-server and the
 // README operations guide for wire formats.
@@ -17,9 +18,21 @@
 // the server adds:
 //
 //   - Admission control: a buffered-channel semaphore of MaxInFlight
-//     worker slots gates /query, /append, /train and /rebuild; a request
-//     waits at most QueueWait before a 503, so overload degrades into
-//     fast rejections instead of unbounded queueing.
+//     worker slots gates /query, /query/stream, /append, /train and
+//     /rebuild; a request waits at most QueueWait before a 503, so
+//     overload degrades into fast rejections instead of unbounded
+//     queueing. One-shot handlers hold their slot until the response body
+//     is fully written (their work cannot be interrupted, so the bound
+//     stays hard); the streaming handler's slot is additionally released
+//     the moment the request context is cancelled — a disconnected
+//     streaming client frees its slot (and unpins the rebuild quiet
+//     gate) immediately.
+//   - Streams (/query/stream) pin one engine view and one inference
+//     snapshot for their whole lifetime and honor client disconnects
+//     between increments; each chunk is flushed as soon as it exists.
+//   - Graceful drain: BeginDrain sheds all new admitted work with 503
+//     while in-flight handlers (streams included) finish; Drain waits for
+//     them under the caller's deadline. /stats is never shed.
 //   - Counters (served, rejected, pendingRows, lastActivity) are atomics;
 //     the session registry has its own mutex and is LRU-capped.
 //   - The auto-rebuild goroutine (armed by RebuildAfterRows, stopped by

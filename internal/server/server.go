@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -17,8 +18,9 @@ import (
 
 // Config tunes the serving layer.
 type Config struct {
-	// MaxInFlight bounds concurrently executing /query, /append and /train
-	// requests (the worker pool; admission control). Default 16.
+	// MaxInFlight bounds concurrently executing /query, /query/stream,
+	// /append, /train and /rebuild requests (the worker pool; admission
+	// control). Default 16.
 	MaxInFlight int
 	// QueueWait is how long a request may wait for a worker slot before the
 	// server sheds it with 503 (default 2s).
@@ -82,7 +84,14 @@ type Server struct {
 
 	served   atomic.Int64 // requests admitted and executed
 	rejected atomic.Int64 // requests shed by admission control
+	streams  atomic.Int64 // progressive /query/stream requests admitted
 	genSeed  atomic.Int64 // seeds server-side batch generation
+
+	// Graceful-drain state: once draining flips, admission sheds every new
+	// request with 503 while handlers (streams included) run to completion;
+	// Drain waits on the handler WaitGroup up to the caller's deadline.
+	draining atomic.Bool
+	handlers sync.WaitGroup
 
 	// Auto-rebuild state: appended rows since the last sample rebuild, the
 	// last admitted-request instant (unix nanos; "quiet" means no admitted
@@ -109,6 +118,7 @@ func New(sys *core.System, cfg Config) *Server {
 	}
 	s.lastActivity.Store(time.Now().UnixNano())
 	s.mux.HandleFunc("/query", s.admitted(s.handleQuery))
+	s.mux.HandleFunc("/query/stream", s.admitStreaming(s.handleQueryStream))
 	s.mux.HandleFunc("/append", s.admitted(s.handleAppend))
 	s.mux.HandleFunc("/train", s.admitted(s.handleTrain))
 	s.mux.HandleFunc("/rebuild", s.admitted(s.handleRebuild))
@@ -164,14 +174,38 @@ func (s *Server) autoRebuildLoop() {
 
 // admitted wraps a handler with the bounded worker pool: a request either
 // gets a slot within QueueWait or is shed with 503 so overload degrades
-// into fast rejections instead of unbounded queueing.
+// into fast rejections instead of unbounded queueing. A draining server
+// sheds immediately (see BeginDrain). The slot is held until the handler
+// returns (response body fully written) — for these handlers a client
+// disconnect does not interrupt the work, so early release would let a
+// connect-and-abandon loop stack unbounded concurrent scans/trainings.
 func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return s.admit(h, false)
+}
+
+// admitStreaming is admission for context-honoring handlers (the
+// progressive stream): the worker slot — which is both the admission bound
+// and what the auto-rebuild quiet gate watches — is additionally released
+// the moment the request context is cancelled. A client that disconnects
+// mid-stream therefore frees its slot as soon as the cancellation
+// propagates (the handler itself stops at the next increment boundary),
+// instead of pinning admission capacity and the rebuild gate while its
+// handler unwinds.
+func (s *Server) admitStreaming(h http.HandlerFunc) http.HandlerFunc {
+	return s.admit(h, true)
+}
+
+func (s *Server) admit(h http.HandlerFunc, releaseOnCancel bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.rejected.Add(1)
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server draining: not admitting new requests"))
+			return
+		}
 		timer := time.NewTimer(s.cfg.QueueWait)
 		defer timer.Stop()
 		select {
 		case s.slots <- struct{}{}:
-			defer func() { <-s.slots }()
 		case <-timer.C:
 			s.rejected.Add(1)
 			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server saturated: %d requests in flight", s.cfg.MaxInFlight))
@@ -181,14 +215,73 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
 			return
 		}
+		s.handlers.Add(1)
+		if s.draining.Load() {
+			// BeginDrain raced our admission while we waited for a slot:
+			// give everything back and shed, so Drain's wait can never
+			// "complete" while a queued request is about to execute.
+			s.handlers.Done()
+			<-s.slots
+			s.rejected.Add(1)
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server draining: not admitting new requests"))
+			return
+		}
 		s.served.Add(1)
-		// Mark activity at admission and at completion, so a long-running
-		// request keeps the server "busy" until it finishes.
+		// Mark activity at admission and at slot release, so a long-running
+		// request keeps the server "busy" until it finishes (or, for a
+		// stream, until its client leaves).
 		s.lastActivity.Store(time.Now().UnixNano())
-		defer func() { s.lastActivity.Store(time.Now().UnixNano()) }()
+		var once sync.Once
+		free := func() {
+			once.Do(func() {
+				<-s.slots
+				s.lastActivity.Store(time.Now().UnixNano())
+			})
+		}
+		defer func() {
+			free()
+			s.handlers.Done()
+		}()
+		if releaseOnCancel {
+			stop := context.AfterFunc(r.Context(), free)
+			defer stop()
+		}
 		h(w, r)
 	}
 }
+
+// BeginDrain flips the server into drain mode: every subsequent request on
+// an admitted endpoint is shed with 503 while in-flight ones — streams
+// included — run to completion. Idempotent; /stats keeps answering so
+// operators can watch the drain.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain begins draining and blocks until every admitted handler has
+// returned or ctx expires (the -drain-timeout deadline). On timeout the
+// remaining in-flight count is reported; the caller decides whether to cut
+// connections anyway (http.Server.Close) or keep waiting.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %d requests still in flight: %w", s.InFlight(), ctx.Err())
+	}
+}
+
+// InFlight is the number of admitted requests currently holding worker
+// slots. A disconnected streaming client's slot is released immediately,
+// so streams count as live demand — not handlers mid-unwind.
+func (s *Server) InFlight() int { return len(s.slots) }
 
 // ---- /query ----
 
@@ -276,8 +369,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SimTimeMS:  float64(res.SimTime) / float64(time.Millisecond),
 		OverheadUS: float64(res.Overhead) / float64(time.Microsecond),
 	}
+	resp.Rows = s.jsonRows(res)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jsonRows converts a Result's group rows into their wire form (shared by
+// /query and each /query/stream chunk).
+func (s *Server) jsonRows(res *core.Result) []Row {
 	alpha, _ := mathx.ConfidenceMultiplier(0.95)
 	schema := s.sys.Engine().Base().Schema()
+	var rows []Row
 	for _, row := range res.Rows {
 		rj := Row{}
 		for _, g := range row.Group {
@@ -301,9 +402,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Exact:     c.Exact,
 			})
 		}
-		resp.Rows = append(resp.Rows, rj)
+		rows = append(rows, rj)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return rows
 }
 
 // ---- /append ----
@@ -510,11 +611,20 @@ type StatsResponse struct {
 		AutoAfterRows int   `json:"auto_after_rows"`
 	} `json:"sample"`
 	Server struct {
-		Sessions    int   `json:"sessions"`
-		MaxInFlight int   `json:"max_in_flight"`
-		Served      int64 `json:"served"`
-		Rejected    int64 `json:"rejected"`
-		UptimeMS    int64 `json:"uptime_ms"`
+		Sessions    int `json:"sessions"`
+		MaxInFlight int `json:"max_in_flight"`
+		// InFlight counts admitted requests currently holding worker slots;
+		// a slot is released when its response body is fully written or its
+		// client disconnects, whichever comes first.
+		InFlight int   `json:"in_flight"`
+		Served   int64 `json:"served"`
+		Rejected int64 `json:"rejected"`
+		// Streams counts admitted progressive /query/stream requests.
+		Streams int64 `json:"streams"`
+		// Draining is true once graceful shutdown has begun: in-flight
+		// work finishes, new requests shed with 503.
+		Draining bool  `json:"draining"`
+		UptimeMS int64 `json:"uptime_ms"`
 	} `json:"server"`
 	Sessions []SessionInfo `json:"sessions,omitempty"`
 }
@@ -545,8 +655,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Sample.AutoAfterRows = s.cfg.RebuildAfterRows
 	resp.Server.Sessions = s.sessions.len()
 	resp.Server.MaxInFlight = s.cfg.MaxInFlight
+	resp.Server.InFlight = s.InFlight()
 	resp.Server.Served = s.served.Load()
 	resp.Server.Rejected = s.rejected.Load()
+	resp.Server.Streams = s.streams.Load()
+	resp.Server.Draining = s.Draining()
 	resp.Server.UptimeMS = time.Since(s.start).Milliseconds()
 	resp.Sessions = s.sessions.snapshot()
 	writeJSON(w, http.StatusOK, resp)

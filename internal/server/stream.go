@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// POST /query/stream — the progressive (online-aggregation) query path.
+// The response is chunked NDJSON: one StreamChunk per increment, flushed as
+// soon as it is computed, so clients watch the estimate converge and the
+// confidence interval shrink live. The whole stream runs against one pinned
+// engine view and one pinned synopsis snapshot; a client that has seen
+// enough simply closes the connection, which cancels the request context,
+// stops the scan at the next increment boundary and frees the worker slot
+// immediately. Each chunk carries (sample_gen, base_rows, sample_rows,
+// rows_seen) — everything needed to replay its raw answer bit-for-bit via
+// Engine.ViewAtGen + System.ExecuteViewPrefix.
+
+// StreamRequest asks for a progressive query.
+type StreamRequest struct {
+	SQL     string `json:"sql"`
+	Session string `json:"session,omitempty"`
+	// MinRows is the first increment's sample-row budget, doubling until
+	// the sample is exhausted; 0 selects the engine default (one block,
+	// 4096 rows).
+	MinRows int `json:"min_rows,omitempty"`
+	// PaceMS delays each non-final increment by this many milliseconds — a
+	// demo/ops knob for watching convergence (capped at 1000 ms so a client
+	// cannot park a worker slot indefinitely).
+	PaceMS int64 `json:"pace_ms,omitempty"`
+}
+
+// maxPaceMS caps client-requested pacing per increment.
+const maxPaceMS = 1000
+
+// StreamChunk is one NDJSON line of a /query/stream response.
+type StreamChunk struct {
+	Session string `json:"session"`
+	// Seq is the 0-based increment index; RowsSeen is the sample prefix the
+	// estimates reflect, out of SampleRows.
+	Seq        int `json:"seq"`
+	RowsSeen   int `json:"rows_seen"`
+	SampleRows int `json:"sample_rows"`
+	// SampleGen/Epoch/BaseRows pin the serving snapshot: constant for the
+	// whole stream (increments never mix sample generations), and enough to
+	// replay any chunk later.
+	SampleGen uint64 `json:"sample_gen"`
+	Epoch     uint64 `json:"epoch"`
+	BaseRows  int    `json:"base_rows"`
+	// Estimate and CI summarize the first cell — the common single-
+	// aggregate case: the model-improved answer and its 95% half-width.
+	// RawEstimate/RawCI are the engine's unimproved values. Rows carries
+	// every group and cell.
+	Estimate    float64  `json:"estimate"`
+	CI          float64  `json:"ci"`
+	RawEstimate float64  `json:"raw_estimate"`
+	RawCI       float64  `json:"raw_ci"`
+	Rows        []Row    `json:"rows,omitempty"`
+	Supported   bool     `json:"supported"`
+	Reasons     []string `json:"reasons,omitempty"`
+	// Final marks the increment that consumed the whole sample (which is
+	// also the moment the answer is recorded into the synopsis).
+	Final      bool    `json:"final,omitempty"`
+	SimTimeMS  float64 `json:"sim_time_ms,omitempty"`
+	OverheadUS float64 `json:"overhead_us,omitempty"`
+}
+
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req StreamRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	sess := s.sessions.get(req.Session, time.Now())
+	sess.touch(time.Now())
+	sess.queries.Add(1)
+	s.streams.Add(1)
+
+	pace := time.Duration(req.PaceMS) * time.Millisecond
+	if pace > maxPaceMS*time.Millisecond {
+		pace = maxPaceMS * time.Millisecond
+	}
+	ctx := r.Context()
+	enc := json.NewEncoder(w)
+	wrote := false
+	writeChunk := func(c StreamChunk) bool {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(c); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	res, err := s.sys.ExecuteProgressive(ctx, req.SQL, core.ProgressiveOptions{FirstRows: req.MinRows},
+		func(pres *core.Result, p core.Progress) bool {
+			if !writeChunk(s.chunkFrom(sess.ID, pres, p)) {
+				return false
+			}
+			if pace > 0 && !p.Final {
+				select {
+				case <-ctx.Done():
+					return false
+				case <-time.After(pace):
+				}
+			}
+			return true
+		})
+	if err != nil {
+		// Parse/plan failures surface before the first chunk and can still
+		// carry a status; a cancellation mid-stream cannot (the 200 header
+		// and earlier chunks are gone), so the stream just ends.
+		if !wrote {
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	if res != nil && !res.Supported && !wrote {
+		// Unsupported queries terminate in one chunk, mirroring /query.
+		writeChunk(StreamChunk{
+			Session: sess.ID, Supported: false, Reasons: res.Reasons, Final: true,
+			Epoch: res.Epoch, SampleGen: res.SampleGen,
+			BaseRows: res.BaseRows, SampleRows: res.SampleRows,
+		})
+	}
+}
+
+// chunkFrom converts one progressive increment into its wire form.
+func (s *Server) chunkFrom(session string, res *core.Result, p core.Progress) StreamChunk {
+	c := StreamChunk{
+		Session: session, Seq: p.Seq, RowsSeen: p.Rows, SampleRows: p.SampleRows,
+		SampleGen: res.SampleGen, Epoch: res.Epoch, BaseRows: res.BaseRows,
+		Rows: s.jsonRows(res), Supported: true, Final: p.Final,
+		SimTimeMS:  float64(res.SimTime) / float64(time.Millisecond),
+		OverheadUS: float64(res.Overhead) / float64(time.Microsecond),
+	}
+	if len(c.Rows) > 0 && len(c.Rows[0].Cells) > 0 {
+		first := c.Rows[0].Cells[0]
+		alpha, _ := mathx.ConfidenceMultiplier(0.95)
+		c.Estimate, c.CI = first.Value, first.ErrBound
+		c.RawEstimate, c.RawCI = first.RawValue, alpha*first.RawStdErr
+	}
+	return c
+}
