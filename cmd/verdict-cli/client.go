@@ -102,51 +102,36 @@ func runClient(hostport string) {
 
 // remoteStream drives /query/stream: one progress line per increment as the
 // estimate converges, then the full answer at the final chunk. Servers
-// without the endpoint fall back to the one-shot /query.
+// without the endpoint fall back to the one-shot /query. A transport error
+// mid-stream is retried once from the last received chunk's cursor — the
+// server folds the already-consumed prefix and continues bit-identically —
+// before giving up.
 func remoteStream(hc *http.Client, base, session, sql string) {
-	body, err := json.Marshal(server.StreamRequest{SQL: sql, Session: session})
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	resp, err := hc.Post(base+"/query/stream", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
-		io.Copy(io.Discard, resp.Body)
-		remoteQuery(hc, base, session, sql, false)
-		return
-	}
-	if resp.StatusCode != http.StatusOK {
-		fmt.Println("error:", decodeResponse(resp, nil))
-		return
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var last server.StreamChunk
 	increments := 0
-	for sc.Scan() {
-		var c server.StreamChunk
-		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
-			fmt.Println("error:", err)
+	for attempt := 0; ; attempt++ {
+		req := server.StreamRequest{SQL: sql, Session: session}
+		if attempt > 0 {
+			req.Cursor = last.Cursor
+		}
+		done, err := streamOnce(hc, base, req, attempt == 0, &last, &increments)
+		if done {
 			return
 		}
-		if !c.Supported {
-			fmt.Printf("unsupported query (bypassing learning): %s\n", strings.Join(c.Reasons, "; "))
-			return
+		if err == nil {
+			break
 		}
-		last = c
-		increments++
-		if !c.Final {
-			fmt.Printf("  … %3.0f%%  %9d/%d sample rows   %.4g ± %.3g (raw ± %.3g)\n",
-				100*float64(c.RowsSeen)/float64(c.SampleRows), c.RowsSeen, c.SampleRows,
-				c.Estimate, c.CI, c.RawCI)
+		if last.Final || last.StopReason != "" {
+			// The terminal chunk already arrived; the transport error only
+			// clipped the clean EOF. Render the answer we hold — resuming a
+			// completed stream would be rejected (and waste a rescan).
+			break
 		}
-	}
-	if err := sc.Err(); err != nil {
+		// One resume from the last cursor; anything further is fatal.
+		if attempt == 0 && last.Cursor != nil {
+			fmt.Printf("  stream interrupted (%v); reconnecting with cursor…\n", err)
+			continue
+		}
 		fmt.Println("stream error:", err)
 		return
 	}
@@ -154,9 +139,79 @@ func remoteStream(hc *http.Client, base, session, sql string) {
 		fmt.Println("stream ended without an answer")
 		return
 	}
+	if last.StopReason == "target" {
+		fmt.Printf("  target CI reached after %d/%d sample rows\n", last.RowsSeen, last.SampleRows)
+	}
 	printRows(last.Rows, false)
 	fmt.Printf("  epoch %d gen %d (%d base rows), %d increments, simulated AQP latency %.1fms, verdict overhead %.0fµs\n",
 		last.Epoch, last.SampleGen, last.BaseRows, increments, last.SimTimeMS, last.OverheadUS)
+}
+
+// streamOnce performs one /query/stream attempt (fresh or cursor-resumed),
+// accumulating chunks into *last / *increments. done=true means the caller
+// should return immediately (fallback taken, HTTP error printed, or a
+// terminal condition rendered); err non-nil with done=false is a transport
+// error eligible for a cursor retry.
+func streamOnce(hc *http.Client, base string, req server.StreamRequest, allowFallback bool, last *server.StreamChunk, increments *int) (done bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Println("error:", err)
+		return true, nil
+	}
+	resp, err := hc.Post(base+"/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		if req.Cursor != nil {
+			return false, err // connect failure on resume: report as stream error
+		}
+		fmt.Println("error:", err)
+		return true, nil
+	}
+	defer resp.Body.Close()
+	if allowFallback && (resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed) {
+		io.Copy(io.Discard, resp.Body)
+		remoteQuery(hc, base, req.Session, req.SQL, false)
+		return true, nil
+	}
+	if resp.StatusCode == http.StatusGone {
+		// The cursor fell behind the replay horizon; the only clean move is
+		// a fresh stream, which the user can reissue.
+		fmt.Println("error:", decodeResponse(resp, nil))
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Println("error:", decodeResponse(resp, nil))
+		return true, nil
+	}
+	if req.Cursor != nil {
+		fmt.Printf("  resumed at row %d\n", req.Cursor.RowsSeen)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var c server.StreamChunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			// A connection that dies mid-chunk can surface as a clean EOF
+			// whose final partial line fails to parse; that is a transport
+			// failure, not a server answer — eligible for a cursor resume.
+			return false, fmt.Errorf("truncated chunk: %w", err)
+		}
+		if !c.Supported {
+			fmt.Printf("unsupported query (bypassing learning): %s\n", strings.Join(c.Reasons, "; "))
+			return true, nil
+		}
+		if c.Error != "" {
+			fmt.Println("server error mid-stream:", c.Error)
+			return true, nil
+		}
+		*last = c
+		*increments++
+		if !c.Final && c.StopReason == "" {
+			fmt.Printf("  … %3.0f%%  %9d/%d sample rows   %.4g ± %.3g (raw ± %.3g)\n",
+				100*float64(c.RowsSeen)/float64(c.SampleRows), c.RowsSeen, c.SampleRows,
+				c.Estimate, c.CI, c.RawCI)
+		}
+	}
+	return false, sc.Err()
 }
 
 func remoteQuery(hc *http.Client, base, session, sql string, exact bool) {

@@ -12,7 +12,10 @@
 // Endpoints (JSON over HTTP):
 //
 //	POST /query        {"sql": "...", "session": "alice", "exact": false, "budget_ms": 0}
-//	POST /query/stream {"sql": "...", "min_rows": 4096, "pace_ms": 0}   (NDJSON: one chunk per increment)
+//	POST /query/stream {"sql": "...", "min_rows": 4096, "pace_ms": 0, "target_ci": 0, "cursor": null}
+//	                   (NDJSON: one chunk per increment; target_ci stops the stream server-side
+//	                   once the raw CI is tight enough; POSTing a chunk's cursor back resumes an
+//	                   interrupted stream bit-identically — 410 once evicted past -max-retained-gens)
 //	POST /append       {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
 //	POST /train        {}
 //	POST /rebuild      {}                         (re-shuffle the sample; epoch swap)
@@ -61,6 +64,7 @@ func main() {
 		rebRows   = flag.Int("rebuild-after-rows", 0, "auto-rebuild the sample after this many appended rows land (0 disables auto-rebuild)")
 		rebQuiet  = flag.Duration("rebuild-quiet", 2*time.Second, "idle period required before an armed auto-rebuild fires")
 		drainWait = flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, how long to let in-flight queries and streams finish before closing")
+		maxGens   = flag.Int("max-retained-gens", 0, "retired sample generations kept for replay/resume (0 keeps all; bounded servers answer behind-horizon cursors with 410)")
 	)
 	flag.Parse()
 
@@ -74,7 +78,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{NumShards: *shards})
+	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{
+		NumShards:       *shards,
+		MaxRetainedGens: *maxGens,
+	})
 
 	srv := server.New(sys, server.Config{
 		MaxInFlight:      *inflight,
@@ -94,6 +101,9 @@ func main() {
 	log.Printf("endpoints: POST /query /query/stream /append /train /rebuild /save /load, GET /stats")
 	if *rebRows > 0 {
 		log.Printf("auto-rebuild: after %d appended rows, once idle for %v", *rebRows, *rebQuiet)
+	}
+	if *maxGens > 0 {
+		log.Printf("replay horizon: keeping at most %d retired sample generations (behind-horizon resumes get 410)", *maxGens)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

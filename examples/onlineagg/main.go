@@ -107,6 +107,29 @@ func main() {
 	if impDone && !rawDone {
 		fmt.Println("NoLearn never met the target within the sample — Verdict did.")
 	}
+
+	// A dropped stream is not a restart: re-entering the scan at the last
+	// received cursor folds the consumed prefix once (ProgressiveFrom), and
+	// every later increment is bit-identical to the uninterrupted stream's
+	// — exactly how /query/stream resumes a POSTed cursor.
+	view := engine.Acquire()
+	sched := aqp.PrefixSchedule(view.SampleRows, 1024)
+	const cut = 2 // increments received before the simulated disconnect
+	full := view.Progressive(snips)
+	resumed := view.ProgressiveFrom(snips, sched[cut-1], cut-1, 0)
+	identical := true
+	for i, prefix := range sched {
+		a := full.Step(prefix)
+		if i < cut {
+			continue
+		}
+		b := resumed.Step(prefix)
+		if a.Seq != b.Seq || a.Rows != b.Rows || a.Estimates[0] != b.Estimates[0] {
+			identical = false
+		}
+	}
+	fmt.Printf("\nresume check: stream cut after %d increments, re-entered at row %d — continuation bit-identical: %v\n",
+		cut, sched[cut-1], identical)
 }
 
 func decompose(engine *aqp.Engine, sql string) ([]*query.Snippet, error) {

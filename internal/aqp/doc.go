@@ -31,7 +31,11 @@
 //     *Sample is always internally coherent. Within a generation the
 //     sample *table* is append-only (prefixes immortal → ViewAt replays);
 //     across generations RebuildSample retires the old table frozen so
-//     ViewAtGen can replay any historical prefix of any generation.
+//     ViewAtGen can replay any historical prefix of any retained
+//     generation. Retention is bounded by SetMaxRetainedGens (0 = keep
+//     all): eviction runs oldest-first under wmu and never drops a
+//     generation pinned by a live stream (PinGen/AcquirePinned
+//     refcounts); behind-horizon access fails with ErrGenEvicted.
 //
 // Determinism: scans fan out across workers but merge per-worker
 // accumulators in fixed order, so a replay of the same view is

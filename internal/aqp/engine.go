@@ -1,6 +1,8 @@
 package aqp
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -32,22 +34,160 @@ type Engine struct {
 
 	// wmu serializes writers (Append, RebuildSample) and view publication;
 	// view caches the current snapshot, republished whenever a table epoch
-	// or the sample generation moves. retired[g] is the frozen final state
-	// of sample generation g (see RebuildSample); the invariant is
-	// sample.Load().Gen == uint64(len(retired)).
-	wmu       sync.Mutex
-	view      atomic.Pointer[View]
-	viewEpoch atomic.Uint64
-	retired   []*storage.Table
+	// or the sample generation moves. retired holds the frozen final states
+	// of retained sample generations (see RebuildSample): retired[i] is
+	// generation retiredBase+i, and the invariant is
+	// sample.Load().Gen == retiredBase + uint64(len(retired)).
+	//
+	// maxRetained bounds len(retired): once a rebuild would push past it,
+	// the oldest retired generations are evicted (their tables released)
+	// oldest-first — except generations pinned by a live stream (pins
+	// refcounts by generation; PinGen/AcquirePinned), which always survive
+	// until released. 0 keeps every generation (immortal replay).
+	wmu         sync.Mutex
+	view        atomic.Pointer[View]
+	viewEpoch   atomic.Uint64
+	retired     []*storage.Table
+	retiredBase uint64
+	maxRetained int
+
+	// pmu guards pins and orders pinning against eviction without the
+	// writer lock: AcquirePinned's fast path pins the published view's
+	// generation under pmu alone (so starting a stream never waits behind
+	// an O(sample) rebuild holding wmu), while evictLocked — called under
+	// wmu — holds pmu for its whole evict-and-republish step. Either a pin
+	// lands before the evictor reads the map (the generation survives) or
+	// the evictor publishes the advanced horizon first and the pinner,
+	// checking it under the same pmu, falls back to the slow path. Lock
+	// order is always wmu → pmu.
+	pmu  sync.Mutex
+	pins map[uint64]int
+
+	// retention is a lock-free snapshot of (horizon, retained, bound),
+	// republished by evictLocked whenever any of the three can move, so
+	// /stats never blocks behind a rebuild holding wmu.
+	retention atomic.Pointer[retentionStat]
 }
+
+type retentionStat struct {
+	horizon  uint64
+	retained int
+	max      int
+}
+
+// ErrGenEvicted reports a replay or resume request for a sample generation
+// that existed but has been evicted past the bounded replay horizon (see
+// SetMaxRetainedGens). Callers should restart from the live generation.
+// Errors carrying it are *GenEvictedError, which names the horizon.
+var ErrGenEvicted = errors.New("aqp: sample generation evicted behind the replay horizon")
+
+// ErrGenUnknown reports a request for a sample generation that has never
+// existed on this engine.
+var ErrGenUnknown = errors.New("aqp: sample generation does not exist")
+
+// GenEvictedError is the concrete behind-horizon error: it carries the
+// horizon observed under the same lock acquisition that rejected the
+// generation, so callers (the serving layer's 410 body) can report a
+// horizon consistent with the message. errors.Is(err, ErrGenEvicted)
+// matches it.
+type GenEvictedError struct {
+	Gen     uint64
+	Horizon uint64
+}
+
+func (e *GenEvictedError) Error() string {
+	return fmt.Sprintf("aqp: generation %d evicted (replay horizon is %d)", e.Gen, e.Horizon)
+}
+
+// Is makes errors.Is(err, ErrGenEvicted) succeed.
+func (e *GenEvictedError) Is(target error) bool { return target == ErrGenEvicted }
 
 // NewEngine wires a base relation, its offline sample and a cost model. The
 // engine scans with the vectorized block pipeline by default; see
 // SetScanMode.
 func NewEngine(base *storage.Table, sample *Sample, cost CostModel) *Engine {
-	e := &Engine{base: base, cost: cost}
+	e := &Engine{base: base, cost: cost, pins: make(map[uint64]int)}
 	e.sample.Store(sample)
+	e.retention.Store(&retentionStat{horizon: sample.Gen})
 	return e
+}
+
+// SetMaxRetainedGens bounds how many retired sample generations the engine
+// keeps for replay. 0 (the default) retains every generation — immortal
+// replay prefixes at the cost of one sample-sized table per rebuild. A
+// positive bound evicts oldest-first whenever a rebuild (or a lowered
+// bound) pushes past it, skipping nothing: eviction stops at the first
+// still-pinned generation, so a live stream's generation is never dropped
+// under pressure. Evicted generations fail ViewAtGen/PinGen with
+// ErrGenEvicted; ReplayHorizon reports the oldest still-replayable one.
+func (e *Engine) SetMaxRetainedGens(n int) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.maxRetained = n
+	e.evictLocked()
+}
+
+// MaxRetainedGens returns the configured retention bound (0 = unbounded).
+// Lock-free.
+func (e *Engine) MaxRetainedGens() int {
+	return e.retention.Load().max
+}
+
+// evictLocked drops the oldest retired generations until the retained set
+// fits maxRetained, never evicting past a pinned generation, then
+// republishes the lock-free retention snapshot. Caller holds e.wmu; every
+// mutation of the retention state (rebuild, bound change, pin release)
+// funnels through here so the snapshot can never go stale.
+func (e *Engine) evictLocked() {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	if e.maxRetained > 0 {
+		for len(e.retired) > e.maxRetained {
+			if e.pins[e.retiredBase] > 0 {
+				// Oldest-first means a pinned generation blocks eviction of
+				// everything newer too; the bound is restored when it
+				// releases.
+				break
+			}
+			e.retired[0] = nil // release the table to the GC
+			e.retired = e.retired[1:]
+			e.retiredBase++
+		}
+	}
+	e.retention.Store(&retentionStat{
+		horizon:  e.replayHorizonLocked(),
+		retained: len(e.retired),
+		max:      e.maxRetained,
+	})
+}
+
+// ReplayHorizon is the oldest sample generation still replayable through
+// ViewAtGen/PinGen: retiredBase while retired generations remain, else the
+// live generation. Lock-free.
+func (e *Engine) ReplayHorizon() uint64 {
+	return e.retention.Load().horizon
+}
+
+func (e *Engine) replayHorizonLocked() uint64 {
+	if len(e.retired) > 0 {
+		return e.retiredBase
+	}
+	return e.sample.Load().Gen
+}
+
+// RetainedGens is the number of retired generations currently held for
+// replay (the live generation is not counted). Lock-free.
+func (e *Engine) RetainedGens() int {
+	return e.retention.Load().retained
+}
+
+// RetentionStats returns the replay horizon, the retained retired-
+// generation count and the configured bound as one coherent snapshot.
+// Lock-free: /stats reads it without ever waiting behind a rebuild
+// holding the writer lock.
+func (e *Engine) RetentionStats() (horizon uint64, retained, maxRetained int) {
+	r := e.retention.Load()
+	return r.horizon, r.retained, r.max
 }
 
 // SetScanMode switches between the vectorized block scan (default) and the

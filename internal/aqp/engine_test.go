@@ -16,7 +16,7 @@ import (
 
 // buildTable makes a relation with a known mean structure: measure =
 // 10 + week, weeks 0..99 uniform, two regions.
-func buildTable(t *testing.T, rows int) *storage.Table {
+func buildTable(t testing.TB, rows int) *storage.Table {
 	t.Helper()
 	schema := storage.MustSchema([]storage.ColumnDef{
 		{Name: "week", Kind: storage.Numeric, Role: storage.Dimension},
@@ -41,7 +41,7 @@ func buildTable(t *testing.T, rows int) *storage.Table {
 	return tb
 }
 
-func snippetFor(t *testing.T, tb *storage.Table, sql string) *query.Snippet {
+func snippetFor(t testing.TB, tb *storage.Table, sql string) *query.Snippet {
 	t.Helper()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {

@@ -99,6 +99,56 @@ func (v *View) Progressive(snips []*query.Snippet) *ProgressiveScan {
 	return &ProgressiveScan{view: v, metas: metaOf(accs), accs: accs}
 }
 
+// ProgressiveFrom enters the increment loop mid-sample: it starts a
+// resumable evaluation whose state is exactly what a Progressive scan would
+// carry after emitting the prefix [0, rows) as increment seq. The cursor
+// prefix is folded ONCE — complete work units into the carried
+// accumulators, in the same unit order a continuous scan would have used —
+// so resuming after k consumed increments costs one O(rows) fold, not k
+// re-scans, and every subsequent Step emits an increment bit-identical to
+// the one the uninterrupted scan would have emitted at the same budget
+// (same merge tree, hence the same floats; see the package comment).
+//
+// rows is clamped to [0, Total]; the next Step emits Seq = seq+1; workers
+// caps the fan-out of both the entry fold and later Steps (0 = one worker
+// per core; the result is cap-invariant either way). This is the engine
+// half of a resumable stream: reconstruct the serving view with
+// Engine.PinGen from the cursor's (sample_gen, base_rows, sample_rows),
+// then ProgressiveFrom at its (rows_seen, seq).
+func (v *View) ProgressiveFrom(snips []*query.Snippet, rows, seq, workers int) *ProgressiveScan {
+	ps := v.Progressive(snips)
+	ps.workers = workers
+	if rows > v.SampleRows {
+		rows = v.SampleRows
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	if rows > 0 {
+		data := v.Sample.Data
+		if v.mode == ScanRowAtATime {
+			// Sequential fold: continuation from here is exactly what a
+			// continuous row-at-a-time scan carries at this prefix.
+			scanRows(data, ps.accs, 0, rows)
+			ps.folded = rows
+		} else if fullUnits := rows / unitRows; fullUnits > 0 {
+			// Fold only the complete units; the carried accumulators stay
+			// unit-aligned and the (at most one-unit) cursor tail is
+			// re-covered by the next Step, exactly as an uninterrupted
+			// scan's carry state would have it.
+			for _, part := range scanUnits(data, ps.metas, 0, fullUnits, 0, rows, ps.workers) {
+				merge(ps.accs, part)
+			}
+			ps.folded = fullUnits * unitRows
+		}
+		ps.emitted = rows
+	}
+	if seq >= 0 {
+		ps.seq = seq + 1
+	}
+	return ps
+}
+
 // SetWorkers caps the fan-out used to fold newly completed units (0 = one
 // worker per core). The result is identical for any cap — the unit
 // partition and merge order never depend on it.

@@ -49,10 +49,13 @@ func DefaultRebuildOptions() RebuildOptions {
 //
 // Rebuilding is O(sample size) time and memory and serializes with Append;
 // run it in quiet periods (the serving layer's auto-rebuild trigger does).
-// Each retired generation keeps its rows reachable until the engine is
-// dropped — the cost of immortal replay prefixes; at one rebuild per quiet
-// period the retained set grows by one sample-sized table per rebuild.
-// Returns the new generation number.
+// Each retired generation keeps its rows reachable — one sample-sized
+// table per rebuild — until the retention bound evicts it: with
+// SetMaxRetainedGens(0) (the default) replay prefixes are immortal and the
+// retained set grows one table per rebuild for the life of the engine;
+// with a positive bound the oldest unpinned generations are dropped here,
+// so long-running servers hold at most that many retired tables (plus any
+// pinned by live streams). Returns the new generation number.
 func (e *Engine) RebuildSample(seed int64, opts RebuildOptions) uint64 {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
@@ -66,12 +69,14 @@ func (e *Engine) RebuildSample(seed int64, opts RebuildOptions) uint64 {
 	}
 	data := old.SelectRows(old.Name(), idx)
 	// Retire the old generation frozen: pinned views already share its
-	// backing arrays, and replays need its prefixes forever.
+	// backing arrays, and replays need its prefixes for as long as the
+	// retention bound (SetMaxRetainedGens; 0 = forever) keeps them.
 	e.retired = append(e.retired, old.Snapshot())
 	ns := *cur
 	ns.Data = data
 	ns.Gen = cur.Gen + 1
 	e.sample.Store(&ns)
+	e.evictLocked()
 	e.publishLocked()
 	return ns.Gen
 }

@@ -3,6 +3,7 @@ package aqp
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/query"
@@ -229,25 +230,106 @@ func (e *Engine) ViewAt(baseRows, sampleRows int) *View {
 
 // ViewAtGen reconstructs the view that served a past query from its
 // recorded (SampleGen, BaseRows, SampleRows) triple, reaching back through
-// retired sample generations: RebuildSample retires the old generation's
-// table frozen, so its prefixes stay immortal even though the live sample
-// was re-laid-out. Returns nil for a generation that never existed.
+// retained retired sample generations: RebuildSample retires the old
+// generation's table frozen, so its prefixes survive the live sample's
+// re-layout. Returns nil for a generation that never existed — or one that
+// has been evicted past the bounded replay horizon (SetMaxRetainedGens);
+// use PinGen to distinguish the two and to hold a generation against
+// eviction for the duration of a stream.
 func (e *Engine) ViewAtGen(gen uint64, baseRows, sampleRows int) *View {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	if gen > e.sample.Load().Gen {
+	cur := e.sample.Load()
+	if gen > cur.Gen || (gen < cur.Gen && gen < e.retiredBase) {
 		return nil
 	}
 	return e.viewAtLocked(gen, baseRows, sampleRows)
 }
 
+// PinGen reconstructs a replay view of generation gen like ViewAtGen and
+// additionally pins the generation against eviction until release is
+// called (refcounted; release is idempotent). Resumable streams hold their
+// pin for the whole stream, so a MaxRetainedGens-bounded engine can never
+// evict a generation mid-stream. Errors wrap ErrGenUnknown for a
+// generation that never existed and ErrGenEvicted for one behind the
+// replay horizon.
+func (e *Engine) PinGen(gen uint64, baseRows, sampleRows int) (view *View, release func(), err error) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	cur := e.sample.Load()
+	if gen > cur.Gen {
+		return nil, nil, fmt.Errorf("generation %d not yet created (live generation %d): %w", gen, cur.Gen, ErrGenUnknown)
+	}
+	if gen < cur.Gen && gen < e.retiredBase {
+		// The typed error snapshots the horizon under this same lock
+		// acquisition, so a 410 body built from it is self-consistent.
+		return nil, nil, &GenEvictedError{Gen: gen, Horizon: e.replayHorizonLocked()}
+	}
+	v := e.viewAtLocked(gen, baseRows, sampleRows)
+	e.pmu.Lock()
+	e.pins[gen]++
+	e.pmu.Unlock()
+	return v, e.releaser(gen), nil
+}
+
+// AcquirePinned returns the current published view with its generation
+// pinned against eviction until release is called — the entry point for
+// fresh progressive streams. The fast path matches Acquire's: when the
+// cached view is current, only the pin mutex is taken, so starting a
+// stream never waits behind an O(sample) rebuild holding the writer lock.
+func (e *Engine) AcquirePinned() (view *View, release func()) {
+	if v := e.view.Load(); v != nil && e.viewCurrent(v) {
+		e.pmu.Lock()
+		// Re-check under pmu: a rebuild may have retired — and evicted —
+		// this generation between the load and the pin. Eviction holds pmu
+		// while it advances the horizon, so reading it here is race-free.
+		if v.SampleGen >= e.retention.Load().horizon {
+			e.pins[v.SampleGen]++
+			e.pmu.Unlock()
+			return v, e.releaser(v.SampleGen)
+		}
+		e.pmu.Unlock()
+	}
+	e.wmu.Lock()
+	v := e.publishLocked()
+	e.pmu.Lock()
+	e.pins[v.SampleGen]++
+	e.pmu.Unlock()
+	e.wmu.Unlock()
+	return v, e.releaser(v.SampleGen)
+}
+
+// releaser returns the idempotent unpin closure for one PinGen/
+// AcquirePinned call. Dropping the last pin re-runs eviction, so a bound
+// that was blocked by this pin is restored promptly rather than at the
+// next rebuild.
+func (e *Engine) releaser(gen uint64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.wmu.Lock()
+			e.pmu.Lock()
+			last := false
+			if e.pins[gen]--; e.pins[gen] <= 0 {
+				delete(e.pins, gen)
+				last = true
+			}
+			e.pmu.Unlock()
+			if last {
+				e.evictLocked()
+			}
+			e.wmu.Unlock()
+		})
+	}
+}
+
 // viewAtLocked builds a replay view against generation gen. Caller holds
-// e.wmu and guarantees gen exists.
+// e.wmu and guarantees gen exists and is retained.
 func (e *Engine) viewAtLocked(gen uint64, baseRows, sampleRows int) *View {
 	cur := e.sample.Load()
 	src := cur.Data
 	if gen < cur.Gen {
-		src = e.retired[gen]
+		src = e.retired[gen-e.retiredBase]
 	}
 	base := e.base.SnapshotAt(baseRows)
 	data := src.SnapshotAt(sampleRows)

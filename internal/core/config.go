@@ -40,6 +40,14 @@ type Config struct {
 	// cores on multi-function workloads. Purely a throughput knob: all
 	// results are invariant under the shard count (see shard.go).
 	NumShards int
+	// MaxRetainedGens bounds how many retired sample generations the
+	// engine keeps for replay and stream resumption (aqp.Engine.
+	// SetMaxRetainedGens). 0 — the default — retains every generation
+	// (immortal replay prefixes, one sample-sized table per rebuild);
+	// a positive bound evicts oldest-first, never evicting a generation
+	// pinned by a live progressive stream, and replays behind the
+	// resulting horizon fail with aqp.ErrGenEvicted.
+	MaxRetainedGens int
 }
 
 // Defaults per the paper.
@@ -76,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NumShards <= 0 {
 		c.NumShards = DefaultNumShards
+	}
+	if c.MaxRetainedGens < 0 {
+		c.MaxRetainedGens = 0
 	}
 	return c
 }

@@ -52,13 +52,14 @@ type SystemStats struct {
 	AppendRows  int   // rows landed by streaming appends
 	Rebuilds    int   // sample rebuild epochs (RebuildSample calls)
 	Progressive int   // queries served through ExecuteProgressive
+	Resumed     int   // cursor resumptions served through ExecuteProgressiveFrom
 	Increments  int   // progressive increments emitted across all streams
 	InferenceNS int64 // cumulative wall-clock inference+record overhead
 }
 
 // NewSystem builds a System over an engine with the given configuration.
 func NewSystem(engine *aqp.Engine, cfg Config) *System {
-	applyScanMode(engine, cfg)
+	applyEngineConfig(engine, cfg)
 	return &System{
 		engine:  engine,
 		verdict: New(engine.Base(), cfg),
@@ -66,13 +67,15 @@ func NewSystem(engine *aqp.Engine, cfg Config) *System {
 	}
 }
 
-// applyScanMode wires the configured scan implementation into the engine.
-func applyScanMode(engine *aqp.Engine, cfg Config) {
+// applyEngineConfig wires the configured scan implementation and replay
+// retention bound into the engine.
+func applyEngineConfig(engine *aqp.Engine, cfg Config) {
 	if cfg.RowAtATimeScan {
 		engine.SetScanMode(aqp.ScanRowAtATime)
 	} else {
 		engine.SetScanMode(aqp.ScanVectorized)
 	}
+	engine.SetMaxRetainedGens(cfg.withDefaults().MaxRetainedGens)
 }
 
 // NewSystemWithVerdict builds a System whose learning state is restored

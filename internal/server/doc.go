@@ -28,8 +28,13 @@
 //     streaming client frees its slot (and unpins the rebuild quiet
 //     gate) immediately.
 //   - Streams (/query/stream) pin one engine view and one inference
-//     snapshot for their whole lifetime and honor client disconnects
-//     between increments; each chunk is flushed as soon as it exists.
+//     snapshot for their whole lifetime — the view's sample generation is
+//     also refcount-pinned against replay-horizon eviction — and honor
+//     client disconnects between increments; each chunk is flushed as
+//     soon as it exists and carries a cursor that resumes the stream
+//     bit-identically after a dropped connection (behind-horizon cursors
+//     get a structured 410). A target_ci in the request stops the stream
+//     server-side once the raw CI is tight enough.
 //   - Graceful drain: BeginDrain sheds all new admitted work with 503
 //     while in-flight handlers (streams included) finish; Drain waits for
 //     them under the caller's deadline. /stats is never shed.

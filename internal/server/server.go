@@ -100,6 +100,11 @@ type Server struct {
 	lastActivity atomic.Int64
 	stop         chan struct{}
 	stopOnce     sync.Once
+
+	// streamFault, when set (tests only), injects an execution error into
+	// the progressive stream just before increment seq is flushed — the
+	// fault-injection point for the terminal-error-chunk contract.
+	streamFault func(seq int) error
 }
 
 // New builds a Server around a (thread-safe) System. When
@@ -609,6 +614,13 @@ type StatsResponse struct {
 		// is the arming threshold (0 = auto-rebuild disabled).
 		PendingRows   int64 `json:"pending_rows"`
 		AutoAfterRows int   `json:"auto_after_rows"`
+		// ReplayHorizon is the oldest sample generation still replayable
+		// (and resumable); RetainedGens counts retired generations held,
+		// bounded by MaxRetainedGens (0 = unbounded). Resume or replay
+		// requests behind the horizon receive a structured 410.
+		ReplayHorizon   uint64 `json:"replay_horizon"`
+		RetainedGens    int    `json:"retained_gens"`
+		MaxRetainedGens int    `json:"max_retained_gens"`
 	} `json:"sample"`
 	Server struct {
 		Sessions    int `json:"sessions"`
@@ -653,6 +665,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Sample.Rebuilds = sysStats.Rebuilds
 	resp.Sample.PendingRows = s.pendingRows.Load()
 	resp.Sample.AutoAfterRows = s.cfg.RebuildAfterRows
+	resp.Sample.ReplayHorizon, resp.Sample.RetainedGens, resp.Sample.MaxRetainedGens =
+		s.sys.Engine().RetentionStats()
 	resp.Server.Sessions = s.sessions.len()
 	resp.Server.MaxInFlight = s.cfg.MaxInFlight
 	resp.Server.InFlight = s.InFlight()

@@ -1,11 +1,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/aqp"
 	"repro/internal/core"
 	"repro/internal/mathx"
 )
@@ -17,9 +23,15 @@ import (
 // engine view and one pinned synopsis snapshot; a client that has seen
 // enough simply closes the connection, which cancels the request context,
 // stops the scan at the next increment boundary and frees the worker slot
-// immediately. Each chunk carries (sample_gen, base_rows, sample_rows,
-// rows_seen) — everything needed to replay its raw answer bit-for-bit via
-// Engine.ViewAtGen + System.ExecuteViewPrefix.
+// immediately — or supplies target_ci and lets the server stop the stream
+// the moment the raw confidence interval is tight enough. Each chunk
+// carries a ready-to-resend cursor: POSTing it back (with the original sql
+// and min_rows) resumes the stream mid-sample after a dropped connection,
+// with the remaining chunks bit-identical to the ones the uninterrupted
+// stream would have sent. Each chunk also carries (sample_gen, base_rows,
+// sample_rows, rows_seen) — everything needed to replay its raw answer
+// bit-for-bit via Engine.ViewAtGen + System.ExecuteViewPrefix, for as long
+// as the generation stays inside the replay horizon (-max-retained-gens).
 
 // StreamRequest asks for a progressive query.
 type StreamRequest struct {
@@ -27,12 +39,45 @@ type StreamRequest struct {
 	Session string `json:"session,omitempty"`
 	// MinRows is the first increment's sample-row budget, doubling until
 	// the sample is exhausted; 0 selects the engine default (one block,
-	// 4096 rows).
+	// 4096 rows). Negative values are rejected with 400.
 	MinRows int `json:"min_rows,omitempty"`
 	// PaceMS delays each non-final increment by this many milliseconds — a
 	// demo/ops knob for watching convergence (capped at 1000 ms so a client
 	// cannot park a worker slot indefinitely).
 	PaceMS int64 `json:"pace_ms,omitempty"`
+	// TargetCI, when positive, stops the stream server-side at the first
+	// increment whose raw 95% half-width is within the target for every
+	// result cell; the closing chunk carries stop_reason "target". With
+	// TargetRelative it is a fraction of each raw estimate instead of an
+	// absolute half-width.
+	TargetCI       float64 `json:"target_ci,omitempty"`
+	TargetRelative bool    `json:"target_relative,omitempty"`
+	// Cursor resumes an interrupted stream: send back the cursor object of
+	// the last chunk received, together with the original sql and
+	// min_rows. The server re-pins the cursor's sample generation and
+	// continues from the next increment. A cursor behind the replay
+	// horizon gets a structured 410 (code "behind_replay_horizon") —
+	// restart without the cursor.
+	Cursor *StreamCursor `json:"cursor,omitempty"`
+}
+
+// StreamCursor is the resume token attached to every streamed chunk. It is
+// self-contained: (sample_gen, base_rows, sample_rows) reconstruct the
+// stream's pinned view, (rows_seen, seq) locate the increment on the
+// schedule, and fingerprint binds it to the (sql, min_rows) pair whose
+// schedule produced it, so a cursor cannot resume a different query.
+// Epoch is informational provenance carried through verbatim (it names
+// the original serving view's publication; the engine keeps no epoch
+// history to check it against) — replay tooling must key on the
+// (sample_gen, base_rows, sample_rows) triple, which is validated.
+type StreamCursor struct {
+	SampleGen   uint64 `json:"sample_gen"`
+	Epoch       uint64 `json:"epoch"`
+	BaseRows    int    `json:"base_rows"`
+	SampleRows  int    `json:"sample_rows"`
+	RowsSeen    int    `json:"rows_seen"`
+	Seq         int    `json:"seq"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // maxPaceMS caps client-requested pacing per increment.
@@ -68,6 +113,72 @@ type StreamChunk struct {
 	Final      bool    `json:"final,omitempty"`
 	SimTimeMS  float64 `json:"sim_time_ms,omitempty"`
 	OverheadUS float64 `json:"overhead_us,omitempty"`
+	// StopReason marks a stream that ended before exhausting the sample:
+	// "target" when the raw CI met the requested target_ci, "error" on a
+	// terminal chunk reporting a mid-stream execution failure (Error set).
+	StopReason string `json:"stop_reason,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Cursor is the resume token for this increment: POST it back with the
+	// original sql and min_rows to continue the stream from here.
+	Cursor *StreamCursor `json:"cursor,omitempty"`
+}
+
+// GoneResponse is the structured 410 body a resume (or replay) request
+// receives when its cursor's sample generation has been evicted behind the
+// bounded replay horizon. Clients restart the stream without a cursor.
+type GoneResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"` // always "behind_replay_horizon"
+	// ReplayHorizon is the oldest generation still replayable.
+	ReplayHorizon uint64 `json:"replay_horizon"`
+}
+
+// streamFingerprint binds a cursor to the request parameters that shape the
+// increment schedule: resuming with a different sql or min_rows could never
+// line up with the original stream's chunks, so such cursors are rejected
+// before any work happens.
+func streamFingerprint(sql string, minRows int) string {
+	h := fnv.New64a()
+	io.WriteString(h, sql)
+	h.Write([]byte{0})
+	io.WriteString(h, strconv.Itoa(minRows))
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// validate rejects malformed stream requests before admission-grade work
+// begins (every error maps to a 400) and returns the request's schedule
+// fingerprint, computed once and shared by cursor validation and the
+// cursors attached to outgoing chunks.
+func (req *StreamRequest) validate() (fingerprint string, err error) {
+	if req.SQL == "" {
+		return "", fmt.Errorf("missing sql")
+	}
+	if req.MinRows < 0 {
+		return "", fmt.Errorf("min_rows %d is negative", req.MinRows)
+	}
+	if req.PaceMS < 0 {
+		return "", fmt.Errorf("pace_ms %d is negative", req.PaceMS)
+	}
+	if req.TargetCI < 0 {
+		return "", fmt.Errorf("target_ci %v is negative", req.TargetCI)
+	}
+	if req.TargetRelative && req.TargetCI == 0 {
+		return "", fmt.Errorf("target_relative requires a positive target_ci")
+	}
+	fp := streamFingerprint(req.SQL, req.MinRows)
+	if c := req.Cursor; c != nil {
+		if c.RowsSeen < 0 || c.Seq < 0 || c.BaseRows < 0 || c.SampleRows <= 0 {
+			return "", fmt.Errorf("cursor coordinates (seq %d, rows_seen %d, base_rows %d, sample_rows %d) are malformed",
+				c.Seq, c.RowsSeen, c.BaseRows, c.SampleRows)
+		}
+		if c.Fingerprint == "" {
+			return "", fmt.Errorf("cursor is missing its fingerprint")
+		}
+		if c.Fingerprint != fp {
+			return "", fmt.Errorf("cursor fingerprint does not match this sql and min_rows: resume with the original query parameters")
+		}
+	}
+	return fp, nil
 }
 
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
@@ -75,8 +186,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
-	if req.SQL == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+	fp, err := req.validate()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
@@ -109,25 +221,88 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	res, err := s.sys.ExecuteProgressive(ctx, req.SQL, core.ProgressiveOptions{FirstRows: req.MinRows},
-		func(pres *core.Result, p core.Progress) bool {
-			if !writeChunk(s.chunkFrom(sess.ID, pres, p)) {
+	opts := core.ProgressiveOptions{
+		FirstRows:      req.MinRows,
+		TargetCI:       req.TargetCI,
+		TargetRelative: req.TargetRelative,
+	}
+	var faultErr error
+	yield := func(pres *core.Result, p core.Progress) bool {
+		c := s.chunkFrom(sess.ID, pres, p)
+		c.Cursor = &StreamCursor{
+			SampleGen: pres.SampleGen, Epoch: pres.Epoch,
+			BaseRows: pres.BaseRows, SampleRows: pres.SampleRows,
+			RowsSeen: p.Rows, Seq: p.Seq, Fingerprint: fp,
+		}
+		if s.streamFault != nil {
+			if err := s.streamFault(p.Seq); err != nil {
+				faultErr = err
 				return false
 			}
-			if pace > 0 && !p.Final {
-				select {
-				case <-ctx.Done():
-					return false
-				case <-time.After(pace):
-				}
+		}
+		if !writeChunk(c) {
+			return false
+		}
+		// No pacing after a terminal chunk (sample exhausted or target met):
+		// the stream is semantically finished, so holding the worker slot
+		// another pace_ms would only delay the client's EOF.
+		if pace > 0 && !p.Final && !p.TargetMet {
+			select {
+			case <-ctx.Done():
+				return false
+			case <-time.After(pace):
 			}
-			return true
-		})
+		}
+		return true
+	}
+
+	var res *core.Result
+	if req.Cursor != nil {
+		res, err = s.sys.ExecuteProgressiveFrom(ctx, req.SQL, opts, core.ProgressiveCursor{
+			SampleGen:  req.Cursor.SampleGen,
+			Epoch:      req.Cursor.Epoch,
+			BaseRows:   req.Cursor.BaseRows,
+			SampleRows: req.Cursor.SampleRows,
+			RowsSeen:   req.Cursor.RowsSeen,
+			Seq:        req.Cursor.Seq,
+		}, yield)
+	} else {
+		res, err = s.sys.ExecuteProgressive(ctx, req.SQL, opts, yield)
+	}
+	if err == nil && faultErr != nil {
+		err = faultErr
+	}
 	if err != nil {
-		// Parse/plan failures surface before the first chunk and can still
-		// carry a status; a cancellation mid-stream cannot (the 200 header
-		// and earlier chunks are gone), so the stream just ends.
-		if !wrote {
+		switch {
+		case wrote:
+			// The 200 header and earlier chunks are gone; a vanished client
+			// (context cancelled) gets nothing, but any other mid-stream
+			// failure is reported as a terminal error chunk so clients can
+			// tell a failed stream from a completed one instead of seeing a
+			// silently truncated body.
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				writeChunk(StreamChunk{
+					Session: sess.ID, Supported: true,
+					StopReason: "error", Error: err.Error(),
+				})
+			}
+		case errors.Is(err, aqp.ErrGenEvicted):
+			// The cursor's generation fell behind the replay horizon:
+			// structured 410 so clients restart a fresh stream cleanly. The
+			// horizon comes from the typed error — snapshotted under the
+			// same lock that rejected the generation — so the body can
+			// never contradict its own message.
+			gone := GoneResponse{Error: err.Error(), Code: "behind_replay_horizon"}
+			var ge *aqp.GenEvictedError
+			if errors.As(err, &ge) {
+				gone.ReplayHorizon = ge.Horizon
+			} else {
+				gone.ReplayHorizon = s.sys.Engine().ReplayHorizon()
+			}
+			writeJSON(w, http.StatusGone, gone)
+		default:
+			// Parse/plan failures and bad cursors surface before the first
+			// chunk and can still carry a status.
 			writeErr(w, http.StatusBadRequest, err)
 		}
 		return
@@ -150,6 +325,9 @@ func (s *Server) chunkFrom(session string, res *core.Result, p core.Progress) St
 		Rows: s.jsonRows(res), Supported: true, Final: p.Final,
 		SimTimeMS:  float64(res.SimTime) / float64(time.Millisecond),
 		OverheadUS: float64(res.Overhead) / float64(time.Microsecond),
+	}
+	if p.TargetMet {
+		c.StopReason = "target"
 	}
 	if len(c.Rows) > 0 && len(c.Rows[0].Cells) > 0 {
 		first := c.Rows[0].Cells[0]
