@@ -6,9 +6,15 @@
 //	verdict-bench -list
 //	verdict-bench -exp table4
 //	verdict-bench -exp all -scale full -seed 3
+//	verdict-bench -exp groupedbench -json BENCH_grouped.json
+//
+// -json writes the machine-readable metrics (ns/op per benchmark case) of
+// every executed experiment that records them, as a single JSON object
+// keyed experiment id → case → value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +25,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale = flag.String("scale", "small", "small | full")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale    = flag.String("scale", "small", "small | full")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath = flag.String("json", "", "write per-case metrics (ns/op) of the executed experiments to this file")
 	)
 	flag.Parse()
 
@@ -47,6 +54,7 @@ func main() {
 		ids = experiments.IDs()
 	}
 	failed := false
+	metrics := map[string]map[string]float64{}
 	for _, id := range ids {
 		runner, ok := experiments.Get(id)
 		if !ok {
@@ -62,6 +70,21 @@ func main() {
 		}
 		fmt.Println(rep.String())
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if len(rep.Metrics) > 0 {
+			metrics[rep.ID] = rep.Metrics
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *jsonPath)
 	}
 	if failed {
 		os.Exit(1)

@@ -82,6 +82,7 @@ type Increment struct {
 type ProgressiveScan struct {
 	view    *View
 	metas   []snipMeta
+	gs      *groupedScan   // grouped factoring of the snippet list, if any
 	accs    []*accumulator // complete-unit folds, carried across steps
 	workers int            // worker cap for unit folds; 0 = GOMAXPROCS
 	folded  int            // rows folded into accs (unit-aligned when vectorized)
@@ -91,12 +92,20 @@ type ProgressiveScan struct {
 
 // Progressive starts a resumable evaluation of the snippets against this
 // view's sample. Drive it with Step, typically over PrefixSchedule budgets.
+// Under the default vectorized mode a grouped snippet list factors into the
+// one-pass bank kernel; the per-unit partials it yields are bit-identical to
+// the per-snippet ones, so the carried fold state — and hence every emitted
+// increment — is unchanged.
 func (v *View) Progressive(snips []*query.Snippet) *ProgressiveScan {
 	accs := make([]*accumulator, len(snips))
 	for i, sn := range snips {
 		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
 	}
-	return &ProgressiveScan{view: v, metas: metaOf(accs), accs: accs}
+	ps := &ProgressiveScan{view: v, metas: metaOf(accs), accs: accs}
+	if v.mode == ScanVectorized {
+		ps.gs = factorAccs(accs)
+	}
+	return ps
 }
 
 // ProgressiveFrom enters the increment loop mid-sample: it starts a
@@ -136,7 +145,7 @@ func (v *View) ProgressiveFrom(snips []*query.Snippet, rows, seq, workers int) *
 			// unit-aligned and the (at most one-unit) cursor tail is
 			// re-covered by the next Step, exactly as an uninterrupted
 			// scan's carry state would have it.
-			for _, part := range scanUnits(data, ps.metas, 0, fullUnits, 0, rows, ps.workers) {
+			for _, part := range scanUnits(data, ps.metas, ps.gs, 0, fullUnits, 0, rows, ps.workers) {
 				merge(ps.accs, part)
 			}
 			ps.folded = fullUnits * unitRows
@@ -186,7 +195,7 @@ func (p *ProgressiveScan) Step(rows int) Increment {
 		fullUnits := rows / unitRows
 		doneUnits := p.folded / unitRows
 		if fullUnits > doneUnits {
-			for _, part := range scanUnits(data, p.metas, doneUnits, fullUnits, 0, rows, p.workers) {
+			for _, part := range scanUnits(data, p.metas, p.gs, doneUnits, fullUnits, 0, rows, p.workers) {
 				merge(p.accs, part)
 			}
 			p.folded = fullUnits * unitRows
@@ -198,7 +207,7 @@ func (p *ProgressiveScan) Step(rows int) Increment {
 			var sc blockScanner
 			blo := p.folded / storage.BlockSize
 			bhi := (rows-1)/storage.BlockSize + 1
-			tail := sc.scanRange(data, p.metas, blo, bhi, 0, rows)
+			tail := sc.scanUnit(data, p.metas, p.gs, blo, bhi, 0, rows)
 			emit = cloneAccs(p.accs)
 			merge(emit, tail)
 		}

@@ -28,11 +28,19 @@ type ScanMode uint8
 
 const (
 	// ScanVectorized is the default block-partitioned, zone-map-pruned,
-	// data-parallel scan.
+	// data-parallel scan. Grouped queries additionally factor their
+	// per-group snippets into one shared-base pass over accumulator banks
+	// (see scan_grouped.go).
 	ScanVectorized ScanMode = iota
 	// ScanRowAtATime is the legacy per-row scan, kept as the measurable
 	// baseline and as an ablation/debug mode.
 	ScanRowAtATime
+	// ScanVectorizedPerSnippet is the vectorized block scan with grouped
+	// accumulator-bank factoring disabled: every snippet re-evaluates its
+	// full region per block. Kept as the ablation/oracle the one-scan
+	// grouped path is benchmarked and verified against, mirroring
+	// ScanRowAtATime.
+	ScanVectorizedPerSnippet
 )
 
 // unitBlocks is the number of blocks per work unit — the scheduling and
@@ -76,17 +84,24 @@ func metaOf(accs []*accumulator) []snipMeta {
 }
 
 // scanVectorized feeds rows [start, end) of data into every accumulator via
-// the block pipeline.
-func scanVectorized(data *storage.Table, accs []*accumulator, start, end int) {
+// the block pipeline. When grouped is set, the snippet list is first offered
+// to FactorGroups: a grouped-query shape runs the one-pass accumulator-bank
+// kernel instead of per-snippet region evaluation (float-identical by
+// construction; see scan_grouped.go).
+func scanVectorized(data *storage.Table, accs []*accumulator, start, end int, grouped bool) {
 	if end <= start || len(accs) == 0 {
 		return
 	}
 	metas := metaOf(accs)
+	var gs *groupedScan
+	if grouped {
+		gs = factorAccs(accs)
+	}
 	b0 := start / storage.BlockSize
 	b1 := (end - 1) / storage.BlockSize // inclusive
 	nblocks := b1 - b0 + 1
 	units := (nblocks + unitBlocks - 1) / unitBlocks
-	parts := scanUnits(data, metas, 0, units, start, end, 0)
+	parts := scanUnits(data, metas, gs, 0, units, start, end, 0)
 	// Merge per-unit partials in unit order: the merge tree depends only on
 	// the scanned range, not on scheduling or core count.
 	for _, p := range parts {
@@ -100,8 +115,10 @@ func scanVectorized(data *storage.Table, accs []*accumulator, start, end int) {
 // with b0 = start/BlockSize — a fixed partition of the scanned range, so the
 // returned partials are independent of the worker count and of scheduling.
 // ProgressiveScan resumes a scan by asking for later unit ranges of the same
-// (start, end-extended) partition.
-func scanUnits(data *storage.Table, metas []snipMeta, u0, u1, start, end, maxWorkers int) [][]partial {
+// (start, end-extended) partition. A non-nil gs routes each unit through the
+// grouped accumulator-bank kernel, whose expanded partials are bit-identical
+// to the per-snippet ones.
+func scanUnits(data *storage.Table, metas []snipMeta, gs *groupedScan, u0, u1, start, end, maxWorkers int) [][]partial {
 	if u1 <= u0 {
 		return nil
 	}
@@ -131,7 +148,7 @@ func scanUnits(data *storage.Table, metas []snipMeta, u0, u1, start, end, maxWor
 		var sc blockScanner
 		for u := u0; u < u1; u++ {
 			blo, bhi := unitRange(u)
-			parts[u-u0] = sc.scanRange(data, metas, blo, bhi, start, end)
+			parts[u-u0] = sc.scanUnit(data, metas, gs, blo, bhi, start, end)
 		}
 		return parts
 	}
@@ -148,12 +165,21 @@ func scanUnits(data *storage.Table, metas []snipMeta, u0, u1, start, end, maxWor
 					return
 				}
 				blo, bhi := unitRange(u)
-				parts[u-u0] = sc.scanRange(data, metas, blo, bhi, start, end)
+				parts[u-u0] = sc.scanUnit(data, metas, gs, blo, bhi, start, end)
 			}
 		}()
 	}
 	wg.Wait()
 	return parts
+}
+
+// scanUnit dispatches one work unit to the grouped bank kernel or the
+// per-snippet reference kernel.
+func (s *blockScanner) scanUnit(data *storage.Table, metas []snipMeta, gs *groupedScan, b0, b1, start, end int) []partial {
+	if gs != nil {
+		return s.scanRangeGrouped(data, gs, b0, b1, start, end)
+	}
+	return s.scanRange(data, metas, b0, b1, start, end)
 }
 
 func merge(accs []*accumulator, parts []partial) {
@@ -170,6 +196,7 @@ func merge(accs []*accumulator, parts []partial) {
 type blockScanner struct {
 	sel  []int32
 	vals []float64
+	g    *groupedScratch // lazily built by the grouped bank kernel
 }
 
 // scanRange processes blocks [b0, b1) clipped to rows [start, end),

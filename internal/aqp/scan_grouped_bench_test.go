@@ -1,0 +1,84 @@
+package aqp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// benchGroupedRows is sized so the 256-group case meets the issue's 1M-row
+// speedup criterion; override locally with -short for quick iteration.
+const benchGroupedRows = 1 << 20
+
+type groupedBenchFixture struct {
+	grouped *Engine
+	perSnip *Engine
+	snips   []*query.Snippet
+}
+
+var (
+	groupedBenchMu    sync.Mutex
+	groupedBenchCache = map[string]*groupedBenchFixture{}
+)
+
+// groupedBenchSetup builds (once per case) a rows-row table, a full-fraction
+// single-batch sample preserving the table's layout, one engine per scan
+// mode, and the decomposed snippets of a GROUP BY cat aggregate.
+func groupedBenchSetup(b *testing.B, rows, groups int, clustered bool) *groupedBenchFixture {
+	b.Helper()
+	key := fmt.Sprintf("%d/%d/%v", rows, groups, clustered)
+	groupedBenchMu.Lock()
+	defer groupedBenchMu.Unlock()
+	if fx, ok := groupedBenchCache[key]; ok {
+		return fx
+	}
+	tb := buildGroupedTable(b, rows, groups, clustered)
+	sample := &Sample{Data: tb, Fraction: 1, BatchSize: tb.Rows(), BaseRows: tb.Rows()}
+	fx := &groupedBenchFixture{
+		grouped: NewEngine(tb, sample, CachedCost),
+		perSnip: NewEngine(tb, sample, CachedCost),
+	}
+	fx.grouped.SetScanMode(ScanVectorized)
+	fx.perSnip.SetScanMode(ScanVectorizedPerSnippet)
+	fx.snips = groupedSnips(b, fx.grouped.Acquire(), tb,
+		"SELECT cat, AVG(val), COUNT(*) FROM t GROUP BY cat")
+	groupedBenchCache[key] = fx
+	return fx
+}
+
+// BenchmarkGroupedScan compares the one-scan grouped kernel against the
+// per-snippet ablation across group counts and layouts. The interesting
+// ratio is grouped vs persnippet at high group counts: the ablation rescans
+// the sample once per (group × aggregate) snippet while the grouped kernel
+// pays one pass total.
+func BenchmarkGroupedScan(b *testing.B) {
+	rows := benchGroupedRows
+	if testing.Short() {
+		rows = 1 << 16
+	}
+	for _, groups := range []int{1, 16, 256} {
+		for _, clustered := range []bool{true, false} {
+			layout := "clustered"
+			if !clustered {
+				layout = "shuffled"
+			}
+			for _, mode := range []string{"grouped", "persnippet"} {
+				b.Run(fmt.Sprintf("groups=%d/%s/%s", groups, layout, mode), func(b *testing.B) {
+					fx := groupedBenchSetup(b, rows, groups, clustered)
+					eng := fx.grouped
+					if mode == "persnippet" {
+						eng = fx.perSnip
+					}
+					v := eng.Acquire()
+					b.SetBytes(int64(rows) * 8)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						v.RunToCompletion(fx.snips)
+					}
+				})
+			}
+		}
+	}
+}

@@ -51,12 +51,18 @@ type View struct {
 // scan feeds rows [start, end) of data into the accumulators using the
 // view's scan mode.
 func (v *View) scan(data *storage.Table, accs []*accumulator, start, end int) {
-	if v.mode == ScanRowAtATime {
+	switch v.mode {
+	case ScanRowAtATime:
 		scanRows(data, accs, start, end)
-		return
+	case ScanVectorizedPerSnippet:
+		scanVectorized(data, accs, start, end, false)
+	default:
+		scanVectorized(data, accs, start, end, true)
 	}
-	scanVectorized(data, accs, start, end)
 }
+
+// Mode reports the scan mode the view was acquired under.
+func (v *View) Mode() ScanMode { return v.mode }
 
 // OnlineAggregate processes the sample batch by batch, invoking yield after
 // every batch with refreshed estimates — the online-aggregation interface
@@ -119,7 +125,7 @@ func (v *View) Exact(sn *query.Snippet) float64 {
 		return 0
 	}
 	acc := &accumulator{sn: sn}
-	scanVectorized(v.Base, []*accumulator{acc}, 0, v.Base.Rows())
+	scanVectorized(v.Base, []*accumulator{acc}, 0, v.Base.Rows(), true)
 	return acc.moments.Mean()
 }
 

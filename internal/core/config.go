@@ -34,6 +34,13 @@ type Config struct {
 	// instead of the vectorized block pipeline — an ablation/debug switch;
 	// production configurations leave it false.
 	RowAtATimeScan bool
+	// PerSnippetGroupScan disables the one-scan grouped execution: grouped
+	// queries evaluate every per-group snippet region separately per block
+	// (aqp.ScanVectorizedPerSnippet) and rediscover groups with a dedicated
+	// GroupRows pass. An ablation/oracle switch mirroring RowAtATimeScan —
+	// results are float-identical either way; production configurations
+	// leave it false. Ignored when RowAtATimeScan is set.
+	PerSnippetGroupScan bool
 	// NumShards is the number of synopsis shards (default 8). Models hash
 	// by aggregate function onto shards, each an independent single-writer
 	// domain, so Record/Train/append-adjustment throughput scales with

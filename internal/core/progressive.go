@@ -140,7 +140,7 @@ func (s *System) ExecuteProgressiveFrom(ctx context.Context, sql string, opts Pr
 // the view's pin.
 func (s *System) runProgressive(ctx context.Context, sql string, opts ProgressiveOptions, view *aqp.View, epoch uint64, startRows, startSeq int, resumed bool, yield func(*Result, Progress) bool) (*Result, error) {
 	verdict := s.Verdict()
-	pl, res, err := s.plan(view, sql, !resumed)
+	pl, res, err := s.plan(view, sql, !resumed, false)
 	if err != nil || pl == nil {
 		return res, err
 	}
@@ -188,8 +188,9 @@ func (s *System) runProgressive(ctx context.Context, sql string, opts Progressiv
 			SQL: sql, Supported: true,
 			Epoch: epoch, SampleGen: view.SampleGen,
 			BaseRows: view.BaseRows, SampleRows: view.SampleRows,
-			SimTime:  inc.SimTime,
-			Overhead: time.Duration(inferNS),
+			SimTime:         inc.SimTime,
+			Overhead:        time.Duration(inferNS),
+			GroupsTruncated: pl.truncated,
 		}
 		if r.Rows, err = composeRows(pl, inc.Estimates, improved, usedModel); err != nil {
 			return nil, err
@@ -260,10 +261,11 @@ func (s *System) targetMet(rows []ResultRow, opts ProgressiveOptions) bool {
 // to the streamed increment; improved answers reflect the synopsis at
 // replay time, which has typically learned more since.
 func (s *System) ExecuteViewPrefix(view *aqp.View, sql string, rows int) (*Result, error) {
-	pl, res, err := s.plan(view, sql, false)
+	pl, res, err := s.plan(view, sql, false, false)
 	if err != nil || pl == nil {
 		return res, err
 	}
+	res.GroupsTruncated = pl.truncated
 	inc := view.EvalPrefix(pl.snips, rows)
 	improved, usedModel, _ := inferAll(s.Verdict().SnapshotFor(pl.snips), pl.snips, inc.Estimates)
 	if res.Rows, err = composeRows(pl, inc.Estimates, improved, usedModel); err != nil {

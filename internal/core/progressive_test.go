@@ -207,7 +207,7 @@ func TestInferSnapshotPinned(t *testing.T) {
 		t.Fatal(err)
 	}
 	view := s.Engine().Acquire()
-	pl, _, err := s.plan(view, "SELECT AVG(revenue) FROM sales WHERE week BETWEEN 11 AND 19", false)
+	pl, _, err := s.plan(view, "SELECT AVG(revenue) FROM sales WHERE week BETWEEN 11 AND 19", false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,9 +70,12 @@ func NewSystem(engine *aqp.Engine, cfg Config) *System {
 // applyEngineConfig wires the configured scan implementation and replay
 // retention bound into the engine.
 func applyEngineConfig(engine *aqp.Engine, cfg Config) {
-	if cfg.RowAtATimeScan {
+	switch {
+	case cfg.RowAtATimeScan:
 		engine.SetScanMode(aqp.ScanRowAtATime)
-	} else {
+	case cfg.PerSnippetGroupScan:
+		engine.SetScanMode(aqp.ScanVectorizedPerSnippet)
+	default:
 		engine.SetScanMode(aqp.ScanVectorized)
 	}
 	engine.SetMaxRetainedGens(cfg.withDefaults().MaxRetainedGens)
@@ -215,6 +218,10 @@ type Result struct {
 	SampleGen  uint64
 	BaseRows   int
 	SampleRows int
+	// GroupsTruncated reports that the query's answer set exceeded the
+	// configured Nmax group cap (§2.3) and the tail groups were dropped from
+	// Rows — surfaced instead of silently truncating.
+	GroupsTruncated bool
 }
 
 // Execute runs one SQL query through the full pipeline, consuming the
@@ -242,18 +249,55 @@ func (s *System) ExecuteView(view *aqp.View, sql string) (*Result, error) {
 // the scan is driven (one-shot, time-bound or progressive increments).
 type queryPlan struct {
 	view *aqp.View
+	stmt *sqlparse.SelectStmt
 	decs []*query.Decomposition
 	// snips flattens the snippet list across groups for one shared scan;
 	// offsets[i] is group i's first snippet index within it.
 	snips   []*query.Snippet
 	offsets []int
+	// truncated records that group discovery found more than Nmax groups.
+	truncated bool
+	// spec, when non-nil, defers group discovery into the scan itself: the
+	// plan has no decompositions yet, and execute materializes them from the
+	// discovery scan's result (View.GroupedRunToCompletion).
+	spec *query.GroupedSpec
+}
+
+// nmax returns the configured group cap, defaulted.
+func (s *System) nmax() int {
+	if s.cfg.Nmax > 0 {
+		return s.cfg.Nmax
+	}
+	return DefaultNmax
+}
+
+// materialize fills a deferred grouped plan's decompositions from the
+// discovery scan's group list, so inference and recomposition run on the
+// identical per-snippet structures the legacy path builds.
+func (pl *queryPlan) materialize(gr *aqp.GroupedResult, nmax int) error {
+	decs, err := query.Decompose(pl.stmt, pl.view.Base, gr.Groups, nmax)
+	if err != nil {
+		return err
+	}
+	pl.decs = decs
+	pl.offsets = make([]int, len(decs))
+	for i, d := range decs {
+		pl.offsets[i] = len(pl.snips)
+		pl.snips = append(pl.snips, d.Snippets...)
+	}
+	pl.truncated = gr.Truncated
+	return nil
 }
 
 // plan parses, checks and decomposes sql against the view, bumping the
 // workload counters when record is set. On success the returned Result is
 // the pre-filled header (provenance, support verdict); a nil plan with a
 // nil error means the query is unsupported and the Result is terminal.
-func (s *System) plan(view *aqp.View, sql string, record bool) (*queryPlan, *Result, error) {
+// oneShot marks a run-to-completion execution: a grouped query then defers
+// group discovery into the aggregation scan itself (queryPlan.spec) instead
+// of paying a separate GroupRows pass, when the statement shape and scan
+// mode allow it.
+func (s *System) plan(view *aqp.View, sql string, record, oneShot bool) (*queryPlan, *Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
@@ -297,6 +341,17 @@ func (s *System) plan(view *aqp.View, sql string, record bool) (*queryPlan, *Res
 		}
 		groupCols = append(groupCols, col)
 	}
+	// One-shot grouped executions fold group discovery into the aggregation
+	// scan: no GroupRows pass, no decomposition until the scan reports the
+	// groups it found. Falls through to the legacy plan whenever the shape is
+	// outside the foldable form (numeric group columns, decompose errors —
+	// re-raised with context below) or the scan mode is an ablation.
+	if oneShot && len(groupCols) > 0 && view.Mode() == aqp.ScanVectorized {
+		if spec := query.GroupedSpecOf(stmt, table, groupCols); spec != nil {
+			return &queryPlan{view: view, stmt: stmt, spec: spec}, res, nil
+		}
+	}
+
 	baseRegion, err := query.BindRegion(stmt.Where, table)
 	if err != nil {
 		return nil, nil, err
@@ -319,7 +374,9 @@ func (s *System) plan(view *aqp.View, sql string, record bool) (*queryPlan, *Res
 	if record {
 		s.bumpStats(func(st *SystemStats) { st.Snippets += len(snips) })
 	}
-	return &queryPlan{view: view, decs: decs, snips: snips, offsets: offsets}, res, nil
+	pl := &queryPlan{view: view, stmt: stmt, decs: decs, snips: snips, offsets: offsets}
+	pl.truncated = len(groups) > s.nmax()
+	return pl, res, nil
 }
 
 // composeRows recomposes user aggregates per group row from per-snippet raw
@@ -352,18 +409,32 @@ func composeRows(pl *queryPlan, raw, improved []query.ScalarEstimate, usedModel 
 
 func (s *System) execute(view *aqp.View, sql string, budget time.Duration, record bool) (*Result, error) {
 	verdict := s.Verdict()
-	pl, res, err := s.plan(view, sql, record)
+	pl, res, err := s.plan(view, sql, record, budget == 0)
 	if err != nil || pl == nil {
 		return res, err
 	}
 
 	var upd aqp.BatchUpdate
-	if budget > 0 {
+	switch {
+	case pl.spec != nil:
+		// One-pass grouped execution: the scan discovered the groups and
+		// produced their estimates; materialize the matching decompositions
+		// so inference and recomposition proceed unchanged.
+		gr := view.GroupedRunToCompletion(pl.spec, s.nmax())
+		if err := pl.materialize(gr, s.nmax()); err != nil {
+			return nil, err
+		}
+		if record {
+			s.bumpStats(func(st *SystemStats) { st.Snippets += len(pl.snips) })
+		}
+		upd = gr.Update
+	case budget > 0:
 		upd = view.TimeBound(pl.snips, budget)
-	} else {
+	default:
 		upd = view.RunToCompletion(pl.snips)
 	}
 	res.SimTime = upd.SimTime
+	res.GroupsTruncated = pl.truncated
 
 	// Inference + synopsis updates (the Verdict overhead §8.5 measures).
 	// Infer and Record interleave deliberately: within one query, later

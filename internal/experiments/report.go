@@ -35,6 +35,19 @@ type Report struct {
 	Columns []string // header
 	Rows    [][]string
 	Notes   []string // caveats, substitutions, expected shapes
+	// Metrics, when populated, is the machine-readable companion of Rows —
+	// one scalar per benchmark case (e.g. ns/op keyed by case name).
+	// cmd/verdict-bench's -json flag persists it for trend tracking.
+	Metrics map[string]float64
+}
+
+// Metric records one machine-readable scalar, allocating Metrics on first
+// use.
+func (r *Report) Metric(key string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[key] = v
 }
 
 // Add appends a formatted row.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -164,6 +165,84 @@ type Region struct {
 	schema *storage.Schema
 	num    map[int]NumRange // keyed by column index; absent = full domain
 	cat    map[int]CatSet   // keyed by column index; absent = universal
+
+	// exec caches the finalized scan form (see execForm). It is invalidated
+	// by every Constrain call; regions are never copied by value, so the
+	// atomic pointer travels with the single instance.
+	exec atomic.Pointer[regionExec]
+}
+
+// numPred is one numeric constraint in finalized scan form: the bound range
+// plus the equivalent closed bounds on adjacent floats, so the vectorized
+// filter loop carries two plain comparisons and no math.Nextafter calls.
+type numPred struct {
+	col    int
+	r      NumRange
+	lo, hi float64 // closed: lo <= v && v <= hi  ⟺  r.Contains(v) (NaN fails both)
+}
+
+// catPred is one categorical constraint in finalized scan form; universal
+// (nil-Codes) sets are dropped entirely at finalize time.
+type catPred struct {
+	col int
+	set CatSet
+}
+
+// regionExec is a Region's finalized execution form: constraints flattened
+// into column-ordered slices with open numeric bounds pre-normalized to
+// closed ones. Computed lazily on first scan use and cached until the next
+// Constrain call, it keeps bind-time work (Nextafter, map iteration order)
+// out of the per-block hot path.
+type regionExec struct {
+	empty bool // some constraint admits nothing: the region is provably empty
+	nums  []numPred
+	cats  []catPred
+}
+
+// execForm returns the cached finalized form, computing it on first use.
+// Racing recomputations are idempotent (the form is a pure function of the
+// constraint maps), so the lazy store needs no lock.
+func (g *Region) execForm() *regionExec {
+	if ex := g.exec.Load(); ex != nil {
+		return ex
+	}
+	ex := &regionExec{}
+	cols := make([]int, 0, len(g.num))
+	for col := range g.num {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	for _, col := range cols {
+		r := g.num[col]
+		if r.Empty() {
+			ex.empty = true
+		}
+		lo, hi := r.Lo, r.Hi
+		if r.LoOpen {
+			lo = math.Nextafter(r.Lo, math.Inf(1))
+		}
+		if r.HiOpen {
+			hi = math.Nextafter(r.Hi, math.Inf(-1))
+		}
+		ex.nums = append(ex.nums, numPred{col: col, r: r, lo: lo, hi: hi})
+	}
+	cols = cols[:0]
+	for col := range g.cat {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	for _, col := range cols {
+		s := g.cat[col]
+		if s.Codes == nil {
+			continue // universal: satisfied by every row
+		}
+		if len(s.Codes) == 0 {
+			ex.empty = true
+		}
+		ex.cats = append(ex.cats, catPred{col: col, set: s})
+	}
+	g.exec.Store(ex)
+	return ex
 }
 
 // NewRegion returns an unconstrained region over the table's dimensions.
@@ -194,6 +273,7 @@ func (g *Region) ConstrainNum(col int, r NumRange) {
 	} else {
 		g.num[col] = r
 	}
+	g.exec.Store(nil)
 }
 
 // ConstrainCat intersects column col with the given set.
@@ -203,6 +283,7 @@ func (g *Region) ConstrainCat(col int, s CatSet) {
 	} else {
 		g.cat[col] = s
 	}
+	g.exec.Store(nil)
 }
 
 // NumRangeOf returns the effective range of a numeric dimension column,

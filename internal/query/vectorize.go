@@ -1,8 +1,6 @@
 package query
 
 import (
-	"math"
-
 	"repro/internal/storage"
 )
 
@@ -12,6 +10,15 @@ import (
 // predicate column-at-a-time into a reusable selection vector (MatchBlock).
 // This replaces per-row Matches dispatch on the hot path: each constrained
 // column is filtered in one tight loop over its backing slice.
+//
+// Both entry points work off the region's finalized execution form
+// (Region.execForm): constraints flattened into column-ordered slices with
+// open numeric bounds pre-normalized — at bind/finalize time, once — to
+// closed bounds on adjacent floats. The numeric and single-code categorical
+// filter loops are branch-free: every candidate row index is written
+// unconditionally and the write position advances by a 0/1 flag the compiler
+// lowers to a conditional move, so selectivity never stalls the branch
+// predictor.
 
 // BlockDecision is the outcome of zone-map pruning for one block.
 type BlockDecision uint8
@@ -29,12 +36,15 @@ const (
 // zone maps, in O(#constraints) — no row access. BlockEmpty and BlockFull
 // let the scan engine skip per-row predicate work entirely.
 func (g *Region) PruneBlock(t *storage.Table, b int) BlockDecision {
+	ex := g.execForm()
+	if ex.empty {
+		return BlockEmpty
+	}
 	full := true
-	for col, r := range g.num {
-		if r.Empty() {
-			return BlockEmpty
-		}
-		z := t.NumZone(col, b)
+	for i := range ex.nums {
+		p := &ex.nums[i]
+		r := p.r
+		z := t.NumZone(p.col, b)
 		// Entirely below or above the range ⇒ empty.
 		if z.Max < r.Lo || (z.Max == r.Lo && r.LoOpen) ||
 			z.Min > r.Hi || (z.Min == r.Hi && r.HiOpen) {
@@ -46,16 +56,11 @@ func (g *Region) PruneBlock(t *storage.Table, b int) BlockDecision {
 			full = false
 		}
 	}
-	for col, s := range g.cat {
-		if s.Codes == nil {
-			continue // universal: satisfied by every row
-		}
-		z := t.CatZone(col, b)
-		if len(s.Codes) == 0 {
-			return BlockEmpty
-		}
+	for i := range ex.cats {
+		p := &ex.cats[i]
+		z := t.CatZone(p.col, b)
 		any := false
-		for _, c := range s.Codes {
+		for _, c := range p.set.Codes {
 			if z.ContainsCode(c) {
 				any = true
 				break
@@ -65,7 +70,7 @@ func (g *Region) PruneBlock(t *storage.Table, b int) BlockDecision {
 			return BlockEmpty
 		}
 		// Only a single-valued block can be proven fully admitted.
-		if !(z.MinCode == z.MaxCode && s.Contains(z.MinCode)) {
+		if !(z.MinCode == z.MaxCode && p.set.Contains(z.MinCode)) {
 			full = false
 		}
 	}
@@ -91,105 +96,142 @@ func (g *Region) MatchBlock(t *storage.Table, lo, hi int, sel []int32) []int32 {
 	if hi <= lo {
 		return sel
 	}
+	ex := g.execForm()
+	if ex.empty {
+		return sel
+	}
+	if cap(sel) < hi-lo {
+		sel = make([]int32, 0, hi-lo)
+	}
+	buf := sel[:hi-lo]
+	n := 0
 	first := true
-	for col, r := range g.num {
-		vals := t.NumericCol(col)
-		// Convert open bounds to closed ones on adjacent floats so the inner
-		// loop is two branch-predictable comparisons.
-		effLo, effHi := r.Lo, r.Hi
-		if r.LoOpen {
-			effLo = math.Nextafter(r.Lo, math.Inf(1))
-		}
-		if r.HiOpen {
-			effHi = math.Nextafter(r.Hi, math.Inf(-1))
-		}
+	for i := range ex.nums {
+		p := &ex.nums[i]
+		vals := t.NumericCol(p.col)
 		if first {
-			for row := lo; row < hi; row++ {
-				if v := vals[row]; v >= effLo && v <= effHi {
-					sel = append(sel, int32(row))
-				}
-			}
+			n = filterNumInto(vals, lo, hi, p.lo, p.hi, buf)
 			first = false
 		} else {
-			kept := sel[:0]
-			for _, row := range sel {
-				if v := vals[row]; v >= effLo && v <= effHi {
-					kept = append(kept, row)
-				}
-			}
-			sel = kept
+			n = filterNum(vals, p.lo, p.hi, buf[:n])
 		}
-		if len(sel) == 0 {
-			return sel
+		if n == 0 {
+			return buf[:0]
 		}
 	}
-	for col, s := range g.cat {
-		if s.Codes == nil {
-			continue
-		}
-		codes := t.CodesCol(col)
+	for i := range ex.cats {
+		p := &ex.cats[i]
+		codes := t.CodesCol(p.col)
 		if first {
-			sel = filterCatFirst(codes, lo, hi, s, sel)
+			n = filterCatInto(codes, lo, hi, p.set, buf)
 			first = false
 		} else {
-			sel = filterCat(codes, s, sel)
+			n = filterCat(codes, p.set, buf[:n])
 		}
-		if len(sel) == 0 {
-			return sel
+		if n == 0 {
+			return buf[:0]
 		}
 	}
 	if first {
 		// Unconstrained region: every row matches.
 		for row := lo; row < hi; row++ {
-			sel = append(sel, int32(row))
+			buf[row-lo] = int32(row)
 		}
+		n = hi - lo
 	}
-	return sel
+	return buf[:n]
 }
 
-// filterCatFirst seeds the selection vector from a categorical constraint.
-func filterCatFirst(codes []int32, lo, hi int, s CatSet, sel []int32) []int32 {
+// filterNumInto seeds the selection vector with the rows of [lo, hi) whose
+// value lies in the closed interval [effLo, effHi]. dst must have hi-lo
+// capacity; returns the match count. Branch-free: the row index is written
+// unconditionally and the position advances by a conditional-move flag. NaN
+// values fail both comparisons and are never kept.
+func filterNumInto(vals []float64, lo, hi int, effLo, effHi float64, dst []int32) int {
+	n := 0
+	for row := lo; row < hi; row++ {
+		v := vals[row]
+		dst[n] = int32(row)
+		keep := 0
+		if v >= effLo && v <= effHi {
+			keep = 1
+		}
+		n += keep
+	}
+	return n
+}
+
+// filterNum narrows an existing selection vector in place (the write index
+// never passes the read index, so compaction is safe), returning the new
+// length.
+func filterNum(vals []float64, effLo, effHi float64, sel []int32) int {
+	n := 0
+	for _, row := range sel {
+		v := vals[row]
+		sel[n] = row
+		keep := 0
+		if v >= effLo && v <= effHi {
+			keep = 1
+		}
+		n += keep
+	}
+	return n
+}
+
+// filterCatInto seeds the selection vector from a categorical constraint;
+// dst must have hi-lo capacity. The single-code case — every grouped-query
+// snippet region — runs branch-free like the numeric kernel.
+func filterCatInto(codes []int32, lo, hi int, s CatSet, dst []int32) int {
+	n := 0
 	switch len(s.Codes) {
 	case 0:
-		return sel
+		return 0
 	case 1:
 		want := s.Codes[0]
 		for row := lo; row < hi; row++ {
+			dst[n] = int32(row)
+			keep := 0
 			if codes[row] == want {
-				sel = append(sel, int32(row))
+				keep = 1
 			}
+			n += keep
 		}
 	default:
 		for row := lo; row < hi; row++ {
 			if catSetHas(s, codes[row]) {
-				sel = append(sel, int32(row))
+				dst[n] = int32(row)
+				n++
 			}
 		}
 	}
-	return sel
+	return n
 }
 
 // filterCat narrows an existing selection vector in place.
-func filterCat(codes []int32, s CatSet, sel []int32) []int32 {
-	kept := sel[:0]
+func filterCat(codes []int32, s CatSet, sel []int32) int {
+	n := 0
 	switch len(s.Codes) {
 	case 0:
-		return kept
+		return 0
 	case 1:
 		want := s.Codes[0]
 		for _, row := range sel {
+			sel[n] = row
+			keep := 0
 			if codes[row] == want {
-				kept = append(kept, row)
+				keep = 1
 			}
+			n += keep
 		}
 	default:
 		for _, row := range sel {
 			if catSetHas(s, codes[row]) {
-				kept = append(kept, row)
+				sel[n] = row
+				n++
 			}
 		}
 	}
-	return kept
+	return n
 }
 
 // smallSetScan is the set size below which a linear scan beats binary search

@@ -332,6 +332,9 @@ type QueryResponse struct {
 	SampleRows int      `json:"sample_rows"`
 	SimTimeMS  float64  `json:"sim_time_ms"`
 	OverheadUS float64  `json:"overhead_us"`
+	// GroupsTruncated reports that the answer set exceeded the configured
+	// Nmax group cap and rows carries only the first Nmax groups.
+	GroupsTruncated bool `json:"groups_truncated,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +376,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SampleRows: res.SampleRows,
 		SimTimeMS:  float64(res.SimTime) / float64(time.Millisecond),
 		OverheadUS: float64(res.Overhead) / float64(time.Microsecond),
+
+		GroupsTruncated: res.GroupsTruncated,
 	}
 	resp.Rows = s.jsonRows(res)
 	writeJSON(w, http.StatusOK, resp)

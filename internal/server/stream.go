@@ -113,6 +113,9 @@ type StreamChunk struct {
 	Final      bool    `json:"final,omitempty"`
 	SimTimeMS  float64 `json:"sim_time_ms,omitempty"`
 	OverheadUS float64 `json:"overhead_us,omitempty"`
+	// GroupsTruncated reports that the answer set exceeded the configured
+	// Nmax group cap and rows carries only the first Nmax groups.
+	GroupsTruncated bool `json:"groups_truncated,omitempty"`
 	// StopReason marks a stream that ended before exhausting the sample:
 	// "target" when the raw CI met the requested target_ci, "error" on a
 	// terminal chunk reporting a mid-stream execution failure (Error set).
@@ -325,6 +328,8 @@ func (s *Server) chunkFrom(session string, res *core.Result, p core.Progress) St
 		Rows: s.jsonRows(res), Supported: true, Final: p.Final,
 		SimTimeMS:  float64(res.SimTime) / float64(time.Millisecond),
 		OverheadUS: float64(res.Overhead) / float64(time.Microsecond),
+
+		GroupsTruncated: res.GroupsTruncated,
 	}
 	if p.TargetMet {
 		c.StopReason = "target"

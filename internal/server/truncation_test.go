@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// truncFixture serves a relation whose cat column has six distinct values
+// under a system configured with the given Nmax group cap.
+func truncFixture(t *testing.T, nmax int) *httptest.Server {
+	t.Helper()
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "week", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "cat", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "revenue", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	tb := storage.NewTable("sales", schema)
+	rng := randx.New(5)
+	for i := 0; i < 4000; i++ {
+		w := rng.Uniform(0, 52)
+		if err := tb.AppendRow([]storage.Value{
+			storage.Num(w),
+			storage.Str(fmt.Sprintf("c%d", rng.Intn(6))),
+			storage.Num(50 + 2*w + rng.Normal(0, 3)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sample, err := aqp.BuildSample(tb, 0.5, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(aqp.NewEngine(tb, sample, aqp.CachedCost), core.Config{Nmax: nmax})
+	ts := httptest.NewServer(New(sys, Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestQueryGroupsTruncated: the Nmax cap must surface as groups_truncated in
+// the /query response rather than silently shortening rows.
+func TestQueryGroupsTruncated(t *testing.T) {
+	cases := []struct {
+		name      string
+		nmax      int
+		sql       string
+		wantRows  int
+		wantTrunc bool
+	}{
+		{"over cap", 2, "SELECT cat, COUNT(*) FROM sales GROUP BY cat", 2, true},
+		{"at cap", 6, "SELECT cat, COUNT(*) FROM sales GROUP BY cat", 6, false},
+		{"filtered over cap", 3, "SELECT cat, AVG(revenue) FROM sales WHERE week < 26 GROUP BY cat", 3, true},
+		{"ungrouped", 2, "SELECT AVG(revenue) FROM sales", 1, false},
+		{"default cap", 0, "SELECT cat, SUM(revenue) FROM sales GROUP BY cat", 6, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := truncFixture(t, tc.nmax)
+			var resp QueryResponse
+			if code := post(t, ts.URL+"/query", QueryRequest{SQL: tc.sql}, &resp); code != http.StatusOK {
+				t.Fatalf("status %d", code)
+			}
+			if !resp.Supported {
+				t.Fatalf("unsupported: %v", resp.Reasons)
+			}
+			if len(resp.Rows) != tc.wantRows {
+				t.Fatalf("rows: got %d, want %d", len(resp.Rows), tc.wantRows)
+			}
+			if resp.GroupsTruncated != tc.wantTrunc {
+				t.Fatalf("groups_truncated: got %v, want %v", resp.GroupsTruncated, tc.wantTrunc)
+			}
+		})
+	}
+}
