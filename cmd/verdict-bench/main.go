@@ -7,10 +7,13 @@
 //	verdict-bench -exp table4
 //	verdict-bench -exp all -scale full -seed 3
 //	verdict-bench -exp groupedbench -json BENCH_grouped.json
+//	verdict-bench -exp scanbench,groupedbench,progressivebench -json-dir bench-out
 //
 // -json writes the machine-readable metrics (ns/op per benchmark case) of
 // every executed experiment that records them, as a single JSON object
-// keyed experiment id → case → value.
+// keyed experiment id → case → value. -json-dir instead writes one
+// BENCH_<name>.json per executed experiment (scanbench → BENCH_scan.json),
+// the per-experiment artifacts CI uploads as the perf trajectory.
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,11 +30,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
 		scale    = flag.String("scale", "small", "small | full")
 		seed     = flag.Int64("seed", 1, "random seed")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonPath = flag.String("json", "", "write per-case metrics (ns/op) of the executed experiments to this file")
+		jsonDir  = flag.String("json-dir", "", "write one BENCH_<name>.json per executed experiment into this directory")
 	)
 	flag.Parse()
 
@@ -49,7 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ids := []string{*exp}
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
@@ -75,18 +81,50 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(metrics, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "marshal metrics: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+		if err := writeJSON(*jsonPath, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("metrics written to %s\n", *jsonPath)
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mkdir %s: %v\n", *jsonDir, err)
+			os.Exit(1)
+		}
+		for id, m := range metrics {
+			path := filepath.Join(*jsonDir, benchArtifactName(id))
+			if err := writeJSON(path, m); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics written to %s\n", path)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// benchArtifactName maps an experiment id to its trajectory artifact:
+// scanbench → BENCH_scan.json, groupedbench → BENCH_grouped.json,
+// progressivebench → BENCH_progressive.json; ids without the suffix keep
+// their full name.
+func benchArtifactName(id string) string {
+	name := strings.TrimSuffix(id, "bench")
+	if name == "" {
+		name = id
+	}
+	return "BENCH_" + name + ".json"
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal metrics: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }

@@ -264,6 +264,10 @@ func printServerStats(st server.StatsResponse) {
 		st.Synopsis.Snippets, st.Synopsis.Functions, float64(st.Synopsis.Footprint)/1024)
 	fmt.Printf("server: %d sessions, %d served, %d shed, up %.0fs\n",
 		st.Server.Sessions, st.Server.Served, st.Server.Rejected, float64(st.Server.UptimeMS)/1000)
+	if m := st.Metrics; m != nil {
+		fmt.Printf("metrics: %d requests, latency p50=%.2fms p95=%.2fms p99=%.2fms, %d shed (full catalog: GET /metrics)\n",
+			m.TotalRequests, m.RequestP50MS, m.RequestP95MS, m.RequestP99MS, m.Shed)
+	}
 	for _, s := range st.Sessions {
 		fmt.Printf("  session %-12s queries=%-5d appends=%d\n", s.ID, s.Queries, s.Appends)
 	}

@@ -8,6 +8,7 @@
 //	verdict-server -addr :8765 -dataset customer1 -rows 100000
 //	verdict-server -dataset tpch -rows 200000 -fraction 0.1 -max-inflight 32
 //	verdict-server -shards 16 -rebuild-after-rows 50000 -rebuild-quiet 5s
+//	verdict-server -log-format json -log-level debug -pprof-addr localhost:6060
 //
 // Endpoints (JSON over HTTP):
 //
@@ -19,9 +20,13 @@
 //	POST /append       {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
 //	POST /train        {}
 //	POST /rebuild      {}                         (re-shuffle the sample; epoch swap)
-//	GET  /stats                                   (incl. per-shard synopsis + sample generation + in-flight)
+//	GET  /stats                                   (incl. per-shard synopsis + metrics_summary digest)
+//	GET  /metrics                                 (Prometheus text format: stage latencies, HTTP, streams, synopsis)
 //	POST /save         {"path": "synopsis.json"}  (file name inside -snapshot-dir)
 //	POST /load         {"path": "synopsis.json"}
+//
+// Every response carries an X-Request-ID header (honoring a client-supplied
+// one) that also appears in error envelopes and the structured request log.
 //
 // SIGINT/SIGTERM begin a graceful drain: new requests are shed with 503
 // while in-flight queries and streams finish, bounded by -drain-timeout.
@@ -35,8 +40,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +51,7 @@ import (
 
 	"repro/internal/aqp"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -65,8 +72,17 @@ func main() {
 		rebQuiet  = flag.Duration("rebuild-quiet", 2*time.Second, "idle period required before an armed auto-rebuild fires")
 		drainWait = flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, how long to let in-flight queries and streams finish before closing")
 		maxGens   = flag.Int("max-retained-gens", 0, "retired sample generations kept for replay/resume (0 keeps all; bounded servers answer behind-horizon cursors with 410)")
+		logFormat = flag.String("log-format", "text", "request log format: text | json")
+		logLevel  = flag.String("log-level", "info", "request log level: debug | info | warn | error")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; keep it off public interfaces)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	table, err := buildTable(*dataset, *rows, *seed)
 	if err != nil {
@@ -78,9 +94,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// One registry spans every layer: the core pipeline reports per-stage
+	// latency through the StageTimer, the server adds HTTP/stream/synopsis
+	// families, and GET /metrics scrapes them all.
+	reg := obs.NewRegistry()
 	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{
 		NumShards:       *shards,
 		MaxRetainedGens: *maxGens,
+		Stages:          obs.NewQueryStages(reg),
 	})
 
 	srv := server.New(sys, server.Config{
@@ -89,21 +111,32 @@ func main() {
 		SnapshotDir:      *snapDir,
 		RebuildAfterRows: *rebRows,
 		RebuildQuiet:     *rebQuiet,
+		Logger:           logger,
+		Metrics:          reg,
 		Generate: func(n int, genSeed int64) (*storage.Table, error) {
 			return buildTable(*dataset, n, genSeed)
 		},
 	})
 	defer srv.Close()
 
-	log.Printf("verdict-server on %s — %s (%d rows, %.0f%% sample, %d worker slots, %d synopsis shards)",
-		*addr, *dataset, table.Rows(), *fraction*100, *inflight, sys.Verdict().NumShards())
-	log.Printf("columns: %s", strings.Join(table.Schema().Names(), ", "))
-	log.Printf("endpoints: POST /query /query/stream /append /train /rebuild /save /load, GET /stats")
+	logger.Info("verdict-server starting",
+		slog.String("addr", *addr),
+		slog.String("dataset", *dataset),
+		slog.Int("rows", table.Rows()),
+		slog.Float64("sample_fraction", *fraction),
+		slog.Int("worker_slots", *inflight),
+		slog.Int("synopsis_shards", sys.Verdict().NumShards()),
+		slog.String("columns", strings.Join(table.Schema().Names(), ", ")),
+	)
 	if *rebRows > 0 {
-		log.Printf("auto-rebuild: after %d appended rows, once idle for %v", *rebRows, *rebQuiet)
+		logger.Info("auto-rebuild armed", slog.Int("after_rows", *rebRows), slog.Duration("quiet", *rebQuiet))
 	}
 	if *maxGens > 0 {
-		log.Printf("replay horizon: keeping at most %d retired sample generations (behind-horizon resumes get 410)", *maxGens)
+		logger.Info("replay horizon bounded", slog.Int("max_retained_gens", *maxGens))
+	}
+
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -117,7 +150,8 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("listen failed", slog.String("err", err.Error()))
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // a second signal now kills the process the default way
@@ -125,17 +159,33 @@ func main() {
 	// Graceful drain: shed new requests with 503, let in-flight queries and
 	// streams run to their final chunk (bounded by -drain-timeout), then
 	// close the listener and idle connections.
-	log.Printf("draining: finishing in-flight requests (up to %v; signal again to force quit)", *drainWait)
+	logger.Info("draining: finishing in-flight requests (signal again to force quit)",
+		slog.Duration("timeout", *drainWait))
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		logger.Warn("drain incomplete", slog.String("err", err.Error()))
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", slog.String("err", err.Error()))
 		_ = httpSrv.Close()
 	}
-	log.Printf("verdict-server stopped")
+	logger.Info("verdict-server stopped")
+}
+
+// servePprof exposes net/http/pprof on its own listener, so profiling
+// never shares a port (or the admission control path) with the query API.
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", slog.String("addr", addr))
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener failed", slog.String("err", err.Error()))
+	}
 }
 
 func buildTable(dataset string, rows int, seed int64) (*storage.Table, error) {

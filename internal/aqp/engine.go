@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -22,9 +23,10 @@ import (
 // published immutable View (see view.go), and Append serializes writers
 // while queries keep scanning the stable prefix they pinned.
 type Engine struct {
-	base *storage.Table
-	cost CostModel
-	mode ScanMode
+	base   *storage.Table
+	cost   CostModel
+	mode   ScanMode
+	stages obs.StageTimer // nil disables scan-stage timing
 
 	// sample points at the current-generation Sample. The struct behind the
 	// pointer is immutable once stored: Append and RebuildSample build a
@@ -200,6 +202,17 @@ func (e *Engine) SetScanMode(m ScanMode) {
 
 // ScanMode returns the active scan implementation.
 func (e *Engine) ScanMode() ScanMode { return e.mode }
+
+// SetStageTimer installs the scan-stage latency sink. Serving views
+// publish with it; replay views (ViewAt/ViewAtGen/PinGen) never carry it,
+// so audit re-scans don't pollute the serving distributions. A nil timer
+// (the default) reduces instrumentation to one branch per entry point —
+// benchmarks and library callers pay nothing. Like SetScanMode, set it at
+// boot: not safe to call while queries are in flight.
+func (e *Engine) SetStageTimer(t obs.StageTimer) {
+	e.stages = t
+	e.view.Store(nil) // republish with the timer on next Acquire
+}
 
 // Base returns the underlying live relation. Concurrent consumers should
 // prefer Acquire().Base.

@@ -3,6 +3,7 @@ package aqp
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -177,6 +178,9 @@ func (p *ProgressiveScan) Done() bool { return p.seq > 0 && p.emitted >= p.view.
 // stays unit-aligned — total work across any monotone step sequence is
 // O(Total + steps·unitRows).
 func (p *ProgressiveScan) Step(rows int) Increment {
+	if p.view.stages != nil {
+		defer p.view.observeScan(obs.ModeProgressive, p.gs != nil, time.Now())
+	}
 	total := p.view.SampleRows
 	if rows > total {
 		rows = total

@@ -6,8 +6,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -590,6 +592,9 @@ type GroupedResult struct {
 // unit boundaries (and hence the float merge shape) match the legacy
 // execution's final batch state.
 func (v *View) GroupedRunToCompletion(spec *query.GroupedSpec, nmax int) *GroupedResult {
+	if v.stages != nil {
+		defer v.observeScan(obs.ModeOneShot, true, time.Now())
+	}
 	if nmax <= 0 {
 		nmax = query.DefaultNmax
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/randx"
 	"repro/internal/storage"
@@ -46,6 +47,17 @@ type View struct {
 	sampleEpoch uint64
 	cost        CostModel
 	mode        ScanMode
+
+	// stages receives scan-stage latencies. Only serving views published by
+	// publishLocked carry it; replay views stay nil so audits are silent.
+	stages obs.StageTimer
+}
+
+// observeScan reports one scan-stage duration; a nil timer costs one branch.
+func (v *View) observeScan(mode string, grouped bool, start time.Time) {
+	if v.stages != nil {
+		v.stages.ObserveStage(obs.Stage{Name: obs.StageScan, Mode: mode, Grouped: grouped}, time.Since(start))
+	}
 }
 
 // scan feeds rows [start, end) of data into the accumulators using the
@@ -96,6 +108,9 @@ func (v *View) OnlineAggregate(snips []*query.Snippet, yield func(BatchUpdate) b
 
 // RunToCompletion consumes the whole sample and returns the final update.
 func (v *View) RunToCompletion(snips []*query.Snippet) BatchUpdate {
+	if v.stages != nil {
+		defer v.observeScan(obs.ModeOneShot, false, time.Now())
+	}
 	var last BatchUpdate
 	v.OnlineAggregate(snips, func(u BatchUpdate) bool {
 		last = u
@@ -108,6 +123,9 @@ func (v *View) RunToCompletion(snips []*query.Snippet) BatchUpdate {
 // predicting the largest scannable prefix from the cost model (§7,
 // deployment scenario 2, and Appendix C.2's NoLearn).
 func (v *View) TimeBound(snips []*query.Snippet, budget time.Duration) BatchUpdate {
+	if v.stages != nil {
+		defer v.observeScan(obs.ModeOneShot, false, time.Now())
+	}
 	inc := v.EvalPrefix(snips, v.cost.RowsWithin(budget))
 	return BatchUpdate{
 		Estimates:   inc.Estimates,
@@ -217,6 +235,7 @@ func (e *Engine) publishLocked() *View {
 		sampleEpoch: data.Epoch(),
 		cost:        e.cost,
 		mode:        e.mode,
+		stages:      e.stages,
 	}
 	e.view.Store(v)
 	return v

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/mathx"
+import (
+	"repro/internal/mathx"
+	"repro/internal/obs"
+)
 
 // Config carries Verdict's tunables; zero values select the paper's
 // defaults.
@@ -55,6 +58,13 @@ type Config struct {
 	// pinned by a live progressive stream, and replays behind the
 	// resulting horizon fail with aqp.ErrGenEvicted.
 	MaxRetainedGens int
+	// Stages, when non-nil, receives per-stage query latencies (parse,
+	// prune, scan, infer) for the serving layer's metrics. The scan stage is
+	// forwarded into the wired engine (aqp.Engine.SetStageTimer); the rest
+	// are recorded by System itself. Nil — the default — disables stage
+	// timing entirely: instrumentation reduces to one branch per stage, so
+	// benchmarks and library callers are unperturbed.
+	Stages obs.StageTimer
 }
 
 // Defaults per the paper.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/aqp"
+	"repro/internal/obs"
 )
 
 // Progressive query execution: the online-aggregation pipeline behind the
@@ -140,7 +141,7 @@ func (s *System) ExecuteProgressiveFrom(ctx context.Context, sql string, opts Pr
 // the view's pin.
 func (s *System) runProgressive(ctx context.Context, sql string, opts ProgressiveOptions, view *aqp.View, epoch uint64, startRows, startSeq int, resumed bool, yield func(*Result, Progress) bool) (*Result, error) {
 	verdict := s.Verdict()
-	pl, res, err := s.plan(view, sql, !resumed, false)
+	pl, res, err := s.plan(view, sql, obs.ModeProgressive, !resumed, false)
 	if err != nil || pl == nil {
 		return res, err
 	}
@@ -184,6 +185,9 @@ func (s *System) runProgressive(ctx context.Context, sql string, opts Progressiv
 		t0 := time.Now()
 		improved, usedModel, improvedCount := inferAll(snap, pl.snips, inc.Estimates)
 		inferNS += time.Since(t0).Nanoseconds()
+		if s.cfg.Stages != nil {
+			s.observeStage(obs.StageInfer, obs.ModeProgressive, len(pl.stmt.GroupBy) > 0, t0)
+		}
 		r := &Result{
 			SQL: sql, Supported: true,
 			Epoch: epoch, SampleGen: view.SampleGen,
@@ -261,7 +265,7 @@ func (s *System) targetMet(rows []ResultRow, opts ProgressiveOptions) bool {
 // to the streamed increment; improved answers reflect the synopsis at
 // replay time, which has typically learned more since.
 func (s *System) ExecuteViewPrefix(view *aqp.View, sql string, rows int) (*Result, error) {
-	pl, res, err := s.plan(view, sql, false, false)
+	pl, res, err := s.plan(view, sql, obs.ModeProgressive, false, false)
 	if err != nil || pl == nil {
 		return res, err
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func relDiff(a, b float64) float64 {
@@ -207,7 +209,7 @@ func TestInferSnapshotPinned(t *testing.T) {
 		t.Fatal(err)
 	}
 	view := s.Engine().Acquire()
-	pl, _, err := s.plan(view, "SELECT AVG(revenue) FROM sales WHERE week BETWEEN 11 AND 19", false, false)
+	pl, _, err := s.plan(view, "SELECT AVG(revenue) FROM sales WHERE week BETWEEN 11 AND 19", obs.ModeProgressive, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/query"
 )
@@ -30,6 +31,12 @@ import (
 type shard struct {
 	mu     sync.RWMutex
 	models map[query.FuncID]*model
+
+	// Lifetime counters, atomic so the metrics scrape never touches mu:
+	// records counts snippets recorded onto this shard, trains counts model
+	// train passes run on it.
+	records atomic.Int64
+	trains  atomic.Int64
 }
 
 func newShard() *shard {
@@ -65,6 +72,25 @@ type ShardStat struct {
 
 // NumShards returns the number of synopsis shards.
 func (v *Verdict) NumShards() int { return len(v.shards) }
+
+// ShardCounter is one shard's cumulative write activity: snippets recorded
+// and model train passes run. The counts are lifetime totals for this
+// Verdict instance (a synopsis reload swaps the Verdict and restarts them).
+type ShardCounter struct {
+	Records int64 `json:"records"`
+	Trains  int64 `json:"trains"`
+}
+
+// ShardCounters returns each shard's record/train totals, in shard order.
+// Lock-free: the counters are atomics, so a metrics scrape never waits
+// behind a training pass holding a shard's write lock.
+func (v *Verdict) ShardCounters() []ShardCounter {
+	out := make([]ShardCounter, len(v.shards))
+	for i, sh := range v.shards {
+		out[i] = ShardCounter{Records: sh.records.Load(), Trains: sh.trains.Load()}
+	}
+	return out
+}
 
 // ShardStats returns a per-shard load summary, in shard order. A skewed
 // distribution means the workload's aggregate functions hash unevenly;

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/aqp"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
@@ -79,6 +80,13 @@ func applyEngineConfig(engine *aqp.Engine, cfg Config) {
 		engine.SetScanMode(aqp.ScanVectorized)
 	}
 	engine.SetMaxRetainedGens(cfg.withDefaults().MaxRetainedGens)
+	engine.SetStageTimer(cfg.Stages)
+}
+
+// observeStage reports one pipeline-stage duration to the configured timer;
+// with no timer wired (the default) the call sites reduce to one branch.
+func (s *System) observeStage(name, mode string, grouped bool, start time.Time) {
+	s.cfg.Stages.ObserveStage(obs.Stage{Name: name, Mode: mode, Grouped: grouped}, time.Since(start))
 }
 
 // NewSystemWithVerdict builds a System whose learning state is restored
@@ -296,13 +304,23 @@ func (pl *queryPlan) materialize(gr *aqp.GroupedResult, nmax int) error {
 // oneShot marks a run-to-completion execution: a grouped query then defers
 // group discovery into the aggregation scan itself (queryPlan.spec) instead
 // of paying a separate GroupRows pass, when the statement shape and scan
-// mode allow it.
-func (s *System) plan(view *aqp.View, sql string, record, oneShot bool) (*queryPlan, *Result, error) {
+// mode allow it. mode labels stage-latency observations (obs.ModeOneShot
+// or obs.ModeProgressive); stages are observed only when record is set, so
+// replays and resumes never re-count a query they didn't plan.
+func (s *System) plan(view *aqp.View, sql, mode string, record, oneShot bool) (*queryPlan, *Result, error) {
+	timed := record && s.cfg.Stages != nil
+	var tParse time.Time
+	if timed {
+		tParse = time.Now()
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
 	sup := query.Check(stmt)
+	if timed {
+		s.observeStage(obs.StageParse, mode, len(stmt.GroupBy) > 0, tParse)
+	}
 	if record {
 		s.bumpStats(func(st *SystemStats) {
 			st.Total++
@@ -332,6 +350,14 @@ func (s *System) plan(view *aqp.View, sql string, record, oneShot bool) (*queryP
 		s.bumpStats(func(st *SystemStats) { st.Supported++ })
 	}
 
+	// The prune stage is everything that decides what to scan: group-column
+	// resolution, region binding, group discovery and decomposition (or, on
+	// the deferred path, building the grouped spec the scan discovers with).
+	var tPrune time.Time
+	if timed {
+		tPrune = time.Now()
+	}
+
 	// Discover the answer set's groups from the sample.
 	var groupCols []int
 	for _, g := range stmt.GroupBy {
@@ -348,6 +374,9 @@ func (s *System) plan(view *aqp.View, sql string, record, oneShot bool) (*queryP
 	// re-raised with context below) or the scan mode is an ablation.
 	if oneShot && len(groupCols) > 0 && view.Mode() == aqp.ScanVectorized {
 		if spec := query.GroupedSpecOf(stmt, table, groupCols); spec != nil {
+			if timed {
+				s.observeStage(obs.StagePrune, mode, true, tPrune)
+			}
 			return &queryPlan{view: view, stmt: stmt, spec: spec}, res, nil
 		}
 	}
@@ -373,6 +402,9 @@ func (s *System) plan(view *aqp.View, sql string, record, oneShot bool) (*queryP
 	}
 	if record {
 		s.bumpStats(func(st *SystemStats) { st.Snippets += len(snips) })
+	}
+	if timed {
+		s.observeStage(obs.StagePrune, mode, len(groupCols) > 0, tPrune)
 	}
 	pl := &queryPlan{view: view, stmt: stmt, decs: decs, snips: snips, offsets: offsets}
 	pl.truncated = len(groups) > s.nmax()
@@ -409,7 +441,7 @@ func composeRows(pl *queryPlan, raw, improved []query.ScalarEstimate, usedModel 
 
 func (s *System) execute(view *aqp.View, sql string, budget time.Duration, record bool) (*Result, error) {
 	verdict := s.Verdict()
-	pl, res, err := s.plan(view, sql, record, budget == 0)
+	pl, res, err := s.plan(view, sql, obs.ModeOneShot, record, budget == 0)
 	if err != nil || pl == nil {
 		return res, err
 	}
@@ -458,6 +490,9 @@ func (s *System) execute(view *aqp.View, sql string, budget time.Duration, recor
 	}
 	overhead := time.Since(t0)
 	res.Overhead = overhead
+	if record && s.cfg.Stages != nil {
+		s.observeStage(obs.StageInfer, obs.ModeOneShot, len(pl.stmt.GroupBy) > 0, t0)
+	}
 	if record {
 		s.bumpStats(func(st *SystemStats) {
 			st.Improved += improvedCount

@@ -124,6 +124,7 @@ func (v *Verdict) Record(sn *query.Snippet, raw query.ScalarEstimate) {
 	sh.mu.Lock()
 	v.modelForLocked(sh, sn).record(sn, raw)
 	sh.mu.Unlock()
+	sh.records.Add(1)
 }
 
 // Train runs the offline process of Algorithm 1 for every aggregate
@@ -142,10 +143,11 @@ func (v *Verdict) Train() error {
 	v.regMu.Unlock()
 
 	errs := make([]error, len(ids))
-	v.forEachModelParallel(ids, func(i int, _ query.FuncID, m *model) {
+	v.forEachModelParallel(ids, func(i int, id query.FuncID, m *model) {
 		m.learn(seeds[i])
 		m.mutated()
 		errs[i] = m.rebuild()
+		v.shardFor(id).trains.Add(1)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/aqp"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+func init() { register("progressivebench", ProgressiveBench) }
+
+// ProgressiveBench measures the progressive streaming pipeline end to end:
+// time to the first increment (what a dashboard user waits for), full-stream
+// completion time across increment schedules, and the overhead of streaming
+// versus the one-shot path over the same sample. Not a paper artifact; it
+// tracks the online-aggregation machinery's cost on this hardware. Each
+// case's ns/op lands in Report.Metrics, which verdict-bench -json persists
+// (BENCH_progressive.json) — the CI perf-trajectory artifact for streaming.
+func ProgressiveBench(o Options) (*Report, error) {
+	rows := 200_000
+	if o.Scale == Full {
+		rows = 1_000_000
+	}
+	tb, err := progressiveBenchTable(rows, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sample, err := aqp.BuildSample(tb, 0.5, 0, o.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(aqp.NewEngine(tb, sample, aqp.CachedCost), core.Config{})
+	const sql = "SELECT AVG(v) FROM t WHERE x BETWEEN 10 AND 60"
+
+	rep := &Report{
+		ID:      "progressivebench",
+		Title:   "Progressive streaming: time to first increment and full-stream cost",
+		Columns: []string{"first rows", "increments", "first increment", "full stream", "one-shot", "overhead"},
+	}
+
+	// One-shot baseline: the same query without increments.
+	if _, err := sys.Execute(sql); err != nil { // warm-up
+		return nil, err
+	}
+	const reps = 3
+	t0 := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := sys.Execute(sql); err != nil {
+			return nil, err
+		}
+	}
+	oneShot := time.Since(t0) / reps
+	rep.Metric("oneshot", float64(oneShot.Nanoseconds()))
+
+	for _, firstRows := range []int{1024, 16384} {
+		opts := core.ProgressiveOptions{FirstRows: firstRows}
+		run := func() (first, total time.Duration, increments int, err error) {
+			start := time.Now()
+			_, err = sys.ExecuteProgressive(context.Background(), sql, opts,
+				func(_ *core.Result, p core.Progress) bool {
+					if p.Seq == 0 {
+						first = time.Since(start)
+					}
+					increments++
+					return true
+				})
+			total = time.Since(start)
+			return first, total, increments, err
+		}
+		if _, _, _, err := run(); err != nil { // warm-up
+			return nil, err
+		}
+		var first, total time.Duration
+		var increments int
+		for r := 0; r < reps; r++ {
+			f, tt, n, err := run()
+			if err != nil {
+				return nil, err
+			}
+			first += f / reps
+			total += tt / reps
+			increments = n
+		}
+		rep.Add(fmt.Sprintf("%d", firstRows), fmt.Sprintf("%d", increments),
+			first.Round(time.Microsecond).String(), total.Round(time.Microsecond).String(),
+			oneShot.Round(time.Microsecond).String(), fmtX(float64(total)/float64(oneShot)))
+		rep.Metric(fmt.Sprintf("first=%d/firstincrement", firstRows), float64(first.Nanoseconds()))
+		rep.Metric(fmt.Sprintf("first=%d/fullstream", firstRows), float64(total.Nanoseconds()))
+		rep.Metric(fmt.Sprintf("first=%d/increments", firstRows), float64(increments))
+	}
+	rep.Note("doubling prefix schedule over a %d-row sample; overhead is full-stream time over the one-shot path", sample.Data.Rows())
+	return rep, nil
+}
+
+// progressiveBenchTable builds the streamed relation: a uniform numeric
+// dimension and a correlated measure, shuffled so increments see the whole
+// domain from the first prefix on.
+func progressiveBenchTable(rows int, seed int64) (*storage.Table, error) {
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "x", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "v", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	tb := storage.NewTable("t", schema)
+	rng := randx.New(seed + 97)
+	for i := 0; i < rows; i++ {
+		x := rng.Uniform(0, 100)
+		if err := tb.AppendRow([]storage.Value{
+			storage.Num(x),
+			storage.Num(10 + x + rng.Normal(0, 2)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return tb, nil
+}

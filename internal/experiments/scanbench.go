@@ -17,7 +17,9 @@ func init() { register("scanbench", ScanBench) }
 // pruning + selection vectors + data-parallel workers). It is not a paper
 // artifact; it documents the scan-engine refactor's win on this hardware,
 // over both a clustered layout (where zone maps prune) and a shuffled layout
-// (where only vectorization and data-parallelism help).
+// (where only vectorization and data-parallelism help). Each case's ns/op
+// lands in Report.Metrics, which verdict-bench -json persists
+// (BENCH_scan.json) — the CI perf-trajectory artifact for the scan engine.
 func ScanBench(o Options) (*Report, error) {
 	rows := 200_000
 	if o.Scale == Full {
@@ -60,6 +62,7 @@ func ScanBench(o Options) (*Report, error) {
 			}
 			rep.Add(layout, name, fmt.Sprintf("%d", rows), el.Round(time.Microsecond).String(),
 				fmtF(float64(rows)/el.Seconds()/1e6), speedup)
+			rep.Metric(fmt.Sprintf("%s/%s", layout, name), float64(el.Nanoseconds()))
 		}
 	}
 	rep.Note("selective predicate (~5%% of the domain); vectorized path uses zone-map pruning, selection vectors and GOMAXPROCS block workers")

@@ -1,0 +1,28 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (counters, gauges, histograms) with Prometheus text-format
+// exposition, the narrow StageTimer interface the query pipeline reports
+// per-stage latencies through, and the structured-logging and request-ID
+// helpers the serving layer builds its request logs from.
+//
+// Design constraints, in order:
+//
+//  1. The hot scan path must not feel the instrumentation. Every metric
+//     primitive is a fixed-size structure updated with atomics — one
+//     atomic add per counter increment, two per histogram observation —
+//     and instrumentation points in internal/aqp and internal/core are
+//     nil-guarded, so an unwired engine (benchmarks, experiments, library
+//     use) pays a single branch.
+//  2. No third-party dependencies. The exposition writer emits the
+//     Prometheus text format (version 0.0.4) directly; scrapers and the
+//     /stats quantile summary consume the same bucket snapshots.
+//  3. Registration is get-or-create: registering an existing family with
+//     the same type and label names returns the existing family, so the
+//     serving layer and the binaries can wire the same registry without
+//     coordinating creation order. A name collision with a different
+//     type or label set panics at startup — misregistration is a
+//     programming error, not a runtime condition.
+//
+// Histograms use fixed exponential bucket bounds chosen at registration
+// (see ExpBuckets). Latency histograms are recorded in seconds, following
+// the Prometheus base-unit convention.
+package obs

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4). Families render in
+// name order and children in label-value order, so consecutive scrapes of
+// a quiet registry are byte-identical — which keeps the exposition tests
+// simple and diffs readable.
+
+// TextContentType is the Content-Type of the exposition.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if err := fams[name].write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+
+	if collect := f.collector(); collect != nil {
+		samples := collect()
+		sort.Slice(samples, func(i, j int) bool {
+			return childKey(samples[i].Labels) < childKey(samples[j].Labels)
+		})
+		for _, s := range samples {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labelNames, s.Labels, "", ""), formatFloat(s.Value))
+		}
+		return nil
+	}
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	children := make([]*child, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.RUnlock()
+
+	for _, ch := range children {
+		switch f.typ {
+		case typeCounter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(f.labelNames, ch.labels, "", ""), ch.c.Value())
+		case typeGauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(f.labelNames, ch.labels, "", ""), ch.g.Value())
+		case typeHistogram:
+			s := ch.h.Snapshot()
+			var cum uint64
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					renderLabels(f.labelNames, ch.labels, "le", formatFloat(b)), cum)
+			}
+			cum += s.Counts[len(s.Bounds)]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(f.labelNames, ch.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(f.labelNames, ch.labels, "", ""), formatFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(f.labelNames, ch.labels, "", ""), s.Count)
+		}
+	}
+	return nil
+}
+
+func (f *family) collector() func() []Sample {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.collect
+}
+
+// renderLabels renders {k1="v1",...}, appending one extra pair (the
+// histogram "le") when extraName is non-empty. No labels renders as "".
+func renderLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

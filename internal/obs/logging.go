@@ -1,0 +1,59 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// NewLogger builds the structured logger the binaries install: format is
+// "text" or "json" (the -log-format flag), level one of debug, info,
+// warn, error (-log-level). Request logs carry request and session IDs as
+// attributes, so a json-format fleet can be indexed by either.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (text|json)", format)
+	}
+}
+
+// Request IDs are "r-<8 hex process nonce>-<seq>": unique across
+// restarts (the nonce) yet cheap (one atomic add per request) and ordered
+// within a process, which makes interleaved request logs sortable.
+var (
+	ridNonce = func() string {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request identifier.
+func NewRequestID() string {
+	return fmt.Sprintf("r-%s-%d", ridNonce, ridSeq.Add(1))
+}

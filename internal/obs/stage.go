@@ -1,0 +1,73 @@
+package obs
+
+import "time"
+
+// Stage names one query-pipeline step for latency attribution. The
+// pipeline packages (internal/core, internal/aqp) report through the
+// StageTimer interface and never see the registry, so instrumentation
+// stays a single nil-guarded call at each stage boundary.
+type Stage struct {
+	// Name is the pipeline step: "parse" (SQL parse + support check),
+	// "prune" (region binding, group discovery, decomposition — deciding
+	// what to scan), "scan" (the sample scan itself, recorded inside
+	// internal/aqp), or "infer" (Bayesian inference + synopsis record).
+	Name string
+	// Mode distinguishes "oneshot" executions from "progressive" stream
+	// increments.
+	Mode string
+	// Grouped marks grouped (GROUP BY) queries; for the scan stage it
+	// reports whether the one-scan grouped kernel ran.
+	Grouped bool
+}
+
+// Stage and mode constants, so call sites and the metric catalog agree.
+const (
+	StageParse = "parse"
+	StagePrune = "prune"
+	StageScan  = "scan"
+	StageInfer = "infer"
+
+	ModeOneShot     = "oneshot"
+	ModeProgressive = "progressive"
+)
+
+// StageTimer receives per-stage wall-clock durations. Implementations
+// must be safe for concurrent use; a nil StageTimer disables
+// instrumentation (callers nil-check before timing).
+type StageTimer interface {
+	ObserveStage(st Stage, d time.Duration)
+}
+
+// QueryStages is the registry-backed StageTimer: one histogram family
+// with {stage, mode, grouped} labels. The eight hot children (4 stages ×
+// 2 grouped values for each mode) are created lazily and cached by the
+// family, so steady-state observation is a map read under RLock plus two
+// atomic writes.
+type QueryStages struct {
+	hist *HistogramVec
+}
+
+// MetricQueryStageSeconds is the stage-latency histogram's name.
+const MetricQueryStageSeconds = "verdict_query_stage_duration_seconds"
+
+// NewQueryStages registers (or finds) the stage-latency histogram on r.
+func NewQueryStages(r *Registry) *QueryStages {
+	return &QueryStages{hist: r.HistogramVec(
+		MetricQueryStageSeconds,
+		"Wall-clock latency of each query pipeline stage (parse, prune, scan, infer).",
+		nil,
+		"stage", "mode", "grouped",
+	)}
+}
+
+// ObserveStage implements StageTimer.
+func (q *QueryStages) ObserveStage(st Stage, d time.Duration) {
+	grouped := "false"
+	if st.Grouped {
+		grouped = "true"
+	}
+	q.hist.With(st.Name, st.Mode, grouped).Observe(d.Seconds())
+}
+
+// Snapshot returns the merged distribution across every stage and mode.
+func (q *QueryStages) Snapshot() HistogramSnapshot { return q.hist.MergedSnapshot() }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text-format exposition into a flat map of
+// "name{labels}" → value, with the TYPE of each family in types. It
+// understands exactly what WritePrometheus emits — the consistency tests
+// (monotone counters, bucket sums) round-trip scrapes through it, so the
+// exposition is validated by an independent reader rather than by the
+// writer's own structures.
+func ParseText(r io.Reader) (values map[string]float64, types map[string]string, err error) {
+	values = make(map[string]float64)
+	types = make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("line %d: malformed TYPE line %q", line, text)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		// A sample line is "name{labels} value" or "name value"; label
+		// values are quoted, so the value separator is the last space.
+		i := strings.LastIndexByte(text, ' ')
+		if i < 0 {
+			return nil, nil, fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		key, raw := text[:i], text[i+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: bad value %q: %w", line, raw, err)
+		}
+		if _, dup := values[key]; dup {
+			return nil, nil, fmt.Errorf("line %d: duplicate sample %q", line, key)
+		}
+		values[key] = v
+	}
+	return values, types, sc.Err()
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Serving-layer metrics. The registry is shared with the binary (which
+// also wires the query-stage histogram into core via obs.NewQueryStages on
+// the same registry), and registration is get-or-create, so any number of
+// layers can name the same family without conflict. Scrape-time collectors
+// (GaugeFunc / CounterFuncVec) read state the server already tracks with
+// atomics — sessions, pending rows, retention, per-shard synopsis counters
+// — so a scrape never takes a lock a query path cares about.
+
+type serverMetrics struct {
+	reg *obs.Registry
+
+	reqLatency *obs.HistogramVec // by endpoint
+	requests   *obs.CounterVec   // by endpoint, status
+	inFlight   *obs.Gauge        // instrumented requests currently executing
+	shed       *obs.Counter      // admission-control 503s
+
+	streamLag     *obs.Histogram // seconds between consecutive chunks of a stream
+	activeStreams *obs.Gauge
+	resumes       *obs.Counter // cursor resumptions attempted
+	behindHorizon *obs.Counter // resume 410s (cursor generation evicted)
+
+	rebuildDur *obs.Histogram // sample rebuild duration (manual + auto)
+}
+
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg: reg,
+		reqLatency: reg.HistogramVec("verdict_http_request_duration_seconds",
+			"HTTP request latency by endpoint.", nil, "endpoint"),
+		requests: reg.CounterVec("verdict_http_requests_total",
+			"HTTP requests by endpoint and status.", "endpoint", "status"),
+		inFlight: reg.Gauge("verdict_http_in_flight",
+			"Instrumented HTTP requests currently executing."),
+		shed: reg.Counter("verdict_http_shed_total",
+			"Requests shed with 503 by admission control (saturated, draining or abandoned in queue)."),
+		streamLag: reg.Histogram("verdict_stream_increment_lag_seconds",
+			"Time between consecutive chunks of one progressive stream.", nil),
+		activeStreams: reg.Gauge("verdict_streams_active",
+			"Progressive streams currently emitting."),
+		resumes: reg.Counter("verdict_stream_resumes_total",
+			"Progressive stream cursor resumptions attempted."),
+		behindHorizon: reg.Counter("verdict_stream_behind_horizon_total",
+			"Stream resumes rejected with 410 because the cursor generation fell behind the replay horizon."),
+		rebuildDur: reg.Histogram("verdict_rebuild_duration_seconds",
+			"Sample rebuild duration (manual /rebuild and auto-rebuild).", nil),
+	}
+
+	reg.GaugeFunc("verdict_sessions",
+		"Live sessions in the registry.",
+		func() float64 { return float64(s.sessions.len()) })
+	reg.GaugeFunc("verdict_pending_rows",
+		"Rows appended since the last sample rebuild.",
+		func() float64 { return float64(s.pendingRows.Load()) })
+	reg.GaugeFunc("verdict_retained_generations",
+		"Retired sample generations held for replay.",
+		func() float64 { return float64(s.sys.Engine().RetainedGens()) })
+	reg.GaugeFunc("verdict_replay_horizon_age_generations",
+		"Live sample generation minus the replay horizon: how far back a stream can resume.",
+		func() float64 {
+			eng := s.sys.Engine()
+			return float64(eng.Sample().Gen - eng.ReplayHorizon())
+		})
+	reg.GaugeFunc("verdict_synopsis_snippets",
+		"Snippets currently held in the synopsis.",
+		func() float64 { return float64(s.sys.Verdict().SnippetCount()) })
+	reg.GaugeFunc("verdict_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// Per-shard synopsis write counters, read straight off the shards'
+	// atomics at scrape time. Caveat: /load swaps the Verdict, restarting
+	// these from zero — a scrape-side reset, like any process restart.
+	shardLabels := []string{"shard"}
+	reg.CounterFuncVec("verdict_synopsis_shard_records_total",
+		"Snippets recorded into the synopsis, by shard.", shardLabels,
+		func() []obs.Sample { return shardSamples(s, func(c int64, _ int64) int64 { return c }) })
+	reg.CounterFuncVec("verdict_synopsis_shard_trains_total",
+		"Model train passes run, by shard.", shardLabels,
+		func() []obs.Sample { return shardSamples(s, func(_ int64, t int64) int64 { return t }) })
+	return m
+}
+
+func shardSamples(s *Server, pick func(records, trains int64) int64) []obs.Sample {
+	counters := s.sys.Verdict().ShardCounters()
+	out := make([]obs.Sample, len(counters))
+	for i, c := range counters {
+		out[i] = obs.Sample{Labels: []string{strconv.Itoa(i)}, Value: float64(pick(c.Records, c.Trains))}
+	}
+	return out
+}
+
+// observeRebuild records one completed sample rebuild's duration.
+func (s *Server) observeRebuild(start time.Time) {
+	if s.metrics != nil {
+		s.metrics.rebuildDur.Observe(time.Since(start).Seconds())
+	}
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	if s.metrics == nil {
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("metrics not configured: start the server with a registry"))
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// MetricsSummary is the /stats digest of the serving-layer metrics — the
+// headline numbers an operator wants without scraping /metrics.
+type MetricsSummary struct {
+	// TotalRequests counts instrumented HTTP requests completed (all
+	// endpoints, all statuses).
+	TotalRequests uint64 `json:"total_requests"`
+	// Request latency quantiles, estimated from the histogram the same way
+	// histogram_quantile does (linear interpolation within a bucket).
+	RequestP50MS float64 `json:"request_p50_ms"`
+	RequestP95MS float64 `json:"request_p95_ms"`
+	RequestP99MS float64 `json:"request_p99_ms"`
+	// Shed counts admission-control 503s.
+	Shed uint64 `json:"shed"`
+	// UptimeSeconds is seconds since the server started.
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+// metricsSummary builds the /stats digest; nil when no registry is wired.
+func (s *Server) metricsSummary() *MetricsSummary {
+	if s.metrics == nil {
+		return nil
+	}
+	snap := s.metrics.reqLatency.MergedSnapshot()
+	toMS := func(q float64) float64 { return snap.Quantile(q) * 1000 }
+	return &MetricsSummary{
+		TotalRequests: snap.Count,
+		RequestP50MS:  toMS(0.50),
+		RequestP95MS:  toMS(0.95),
+		RequestP99MS:  toMS(0.99),
+		Shed:          s.metrics.shed.Value(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}

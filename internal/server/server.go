@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -49,6 +51,17 @@ type Config struct {
 	RebuildQuiet time.Duration
 	// RebuildCheckEvery is the auto-rebuild poll interval (default 500ms).
 	RebuildCheckEvery time.Duration
+	// Logger receives one structured log line per request (request ID,
+	// session, endpoint, status, duration). Nil disables request logging.
+	Logger *slog.Logger
+	// Metrics is the registry GET /metrics exposes; the server registers
+	// its serving-layer families on it (request latency, shed, stream lag,
+	// rebuild duration, session/retention gauges, per-shard synopsis
+	// counters). Nil disables the endpoint and all serving-layer metrics —
+	// instrumentation then costs one branch per request. Share the same
+	// registry with core's stage timer (obs.NewQueryStages) so one scrape
+	// covers every layer.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +94,8 @@ type Server struct {
 	slots    chan struct{} // worker-pool semaphore
 	sessions *sessionRegistry
 	start    time.Time
+	log      *slog.Logger   // nil disables request logging
+	metrics  *serverMetrics // nil disables serving-layer metrics
 
 	served   atomic.Int64 // requests admitted and executed
 	rejected atomic.Int64 // requests shed by admission control
@@ -122,14 +137,26 @@ func New(sys *core.System, cfg Config) *Server {
 		stop:     make(chan struct{}),
 	}
 	s.lastActivity.Store(time.Now().UnixNano())
-	s.mux.HandleFunc("/query", s.admitted(s.handleQuery))
-	s.mux.HandleFunc("/query/stream", s.admitStreaming(s.handleQueryStream))
-	s.mux.HandleFunc("/append", s.admitted(s.handleAppend))
-	s.mux.HandleFunc("/train", s.admitted(s.handleTrain))
-	s.mux.HandleFunc("/rebuild", s.admitted(s.handleRebuild))
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/save", s.handleSave)
-	s.mux.HandleFunc("/load", s.handleLoad)
+	s.log = cfg.Logger
+	if cfg.Metrics != nil {
+		s.metrics = newServerMetrics(cfg.Metrics, s)
+	}
+	route := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("/query", s.admitted(s.handleQuery))
+	route("/query/stream", s.admitStreaming(s.handleQueryStream))
+	route("/append", s.admitted(s.handleAppend))
+	route("/train", s.admitted(s.handleTrain))
+	route("/rebuild", s.admitted(s.handleRebuild))
+	route("/stats", s.handleStats)
+	route("/save", s.handleSave)
+	route("/load", s.handleLoad)
+	route("/metrics", s.handleMetrics)
+	// Catch-all so unknown paths get the structured envelope too. The
+	// metrics label is the fixed pattern, not the URL, so arbitrary paths
+	// cannot grow the label set.
+	s.mux.HandleFunc("/", s.instrument("other", s.handleNotFound))
 	if cfg.RebuildAfterRows > 0 {
 		go s.autoRebuildLoop()
 	}
@@ -173,7 +200,9 @@ func (s *Server) autoRebuildLoop() {
 			continue
 		}
 		s.pendingRows.Store(0)
+		t0 := time.Now()
 		s.sys.RebuildSample()
+		s.observeRebuild(t0)
 	}
 }
 
@@ -203,8 +232,7 @@ func (s *Server) admitStreaming(h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) admit(h http.HandlerFunc, releaseOnCancel bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			s.rejected.Add(1)
-			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server draining: not admitting new requests"))
+			s.shed(w, r, codeDraining, fmt.Errorf("server draining: not admitting new requests"))
 			return
 		}
 		timer := time.NewTimer(s.cfg.QueueWait)
@@ -212,12 +240,10 @@ func (s *Server) admit(h http.HandlerFunc, releaseOnCancel bool) http.HandlerFun
 		select {
 		case s.slots <- struct{}{}:
 		case <-timer.C:
-			s.rejected.Add(1)
-			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server saturated: %d requests in flight", s.cfg.MaxInFlight))
+			s.shed(w, r, codeSaturated, fmt.Errorf("server saturated: %d requests in flight", s.cfg.MaxInFlight))
 			return
 		case <-r.Context().Done():
-			s.rejected.Add(1)
-			writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+			s.shed(w, r, codeCanceled, r.Context().Err())
 			return
 		}
 		s.handlers.Add(1)
@@ -227,8 +253,7 @@ func (s *Server) admit(h http.HandlerFunc, releaseOnCancel bool) http.HandlerFun
 			// "complete" while a queued request is about to execute.
 			s.handlers.Done()
 			<-s.slots
-			s.rejected.Add(1)
-			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server draining: not admitting new requests"))
+			s.shed(w, r, codeDraining, fmt.Errorf("server draining: not admitting new requests"))
 			return
 		}
 		s.served.Add(1)
@@ -253,6 +278,21 @@ func (s *Server) admit(h http.HandlerFunc, releaseOnCancel bool) http.HandlerFun
 		}
 		h(w, r)
 	}
+}
+
+// shed rejects one request with the admission-control 503, bumping the
+// rejection counter and the shed metric.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, code string, err error) {
+	s.rejected.Add(1)
+	if s.metrics != nil {
+		s.metrics.shed.Inc()
+	}
+	writeErrCode(w, r, http.StatusServiceUnavailable, code, err)
+}
+
+// handleNotFound is the catch-all: unknown paths get the envelope.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, r, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
 }
 
 // BeginDrain flips the server into drain mode: every subsequent request on
@@ -343,12 +383,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.SQL == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return
 	}
 	sess := s.sessions.get(req.Session, time.Now())
 	sess.touch(time.Now())
 	sess.queries.Add(1)
+	noteSession(r, sess.ID)
 
 	var (
 		res *core.Result
@@ -363,7 +404,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = s.sys.Execute(req.SQL)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := QueryResponse{
@@ -446,6 +487,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.sessions.get(req.Session, time.Now())
 	sess.touch(time.Now())
+	noteSession(r, sess.ID)
 
 	var (
 		batch *storage.Table
@@ -453,15 +495,15 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case req.Generate > 0 && len(req.Rows) > 0:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("pass rows or generate, not both"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("pass rows or generate, not both"))
 		return
 	case req.Generate > 0:
 		if s.cfg.Generate == nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("server has no batch generator configured"))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server has no batch generator configured"))
 			return
 		}
 		if req.Generate > s.cfg.MaxBatchRows {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("generate %d exceeds batch cap %d", req.Generate, s.cfg.MaxBatchRows))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("generate %d exceeds batch cap %d", req.Generate, s.cfg.MaxBatchRows))
 			return
 		}
 		seed := req.Seed
@@ -470,28 +512,28 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		batch, err = s.cfg.Generate(req.Generate, seed)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, r, http.StatusBadRequest, err)
 			return
 		}
 	case len(req.Rows) > 0:
 		if len(req.Rows) > s.cfg.MaxBatchRows {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d rows exceeds cap %d", len(req.Rows), s.cfg.MaxBatchRows))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("batch of %d rows exceeds cap %d", len(req.Rows), s.cfg.MaxBatchRows))
 			return
 		}
 		batch, err = s.decodeBatch(req.Rows)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, r, http.StatusBadRequest, err)
 			return
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing rows or generate"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("missing rows or generate"))
 		return
 	}
 
 	appended := batch.Rows()
 	sampled, err := s.sys.Append(batch)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sess.appends.Add(1)
@@ -521,11 +563,13 @@ type RebuildResponse struct {
 // planned quiet window. Queries in flight keep their pinned generation.
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
 	s.pendingRows.Store(0)
+	t0 := time.Now()
 	gen, rows := s.sys.RebuildSample()
+	s.observeRebuild(t0)
 	writeJSON(w, http.StatusOK, RebuildResponse{
 		Generation: gen,
 		SampleRows: rows,
@@ -578,11 +622,11 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	// Training is expensive (O(n³) per model) and state-changing: never let
 	// an idempotent-looking GET trigger it.
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
 	if err := s.sys.Verdict().Train(); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TrainResponse{
@@ -643,7 +687,10 @@ type StatsResponse struct {
 		Draining bool  `json:"draining"`
 		UptimeMS int64 `json:"uptime_ms"`
 	} `json:"server"`
-	Sessions []SessionInfo `json:"sessions,omitempty"`
+	// Metrics digests the serving-layer metrics (request quantiles, shed
+	// count, uptime); absent when the server runs without a registry.
+	Metrics  *MetricsSummary `json:"metrics_summary,omitempty"`
+	Sessions []SessionInfo   `json:"sessions,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -680,6 +727,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Server.Streams = s.streams.Load()
 	resp.Server.Draining = s.Draining()
 	resp.Server.UptimeMS = time.Since(s.start).Milliseconds()
+	resp.Metrics = s.metricsSummary()
 	resp.Sessions = s.sessions.snapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -721,14 +769,14 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	}
 	path, err := s.snapshotFile(req.Path)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	// Write-then-rename: concurrent saves to the same name race only on the
 	// atomic rename, never interleave bytes in the target file.
 	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, "."+req.Path+".tmp-*")
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	defer os.Remove(tmp.Name())
@@ -740,7 +788,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		err = os.Rename(tmp.Name(), path)
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SnapshotResponse{Path: req.Path, Snippets: s.sys.Verdict().SnippetCount()})
@@ -753,17 +801,17 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	path, err := s.snapshotFile(req.Path)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	defer f.Close()
 	if err := s.sys.LoadSynopsis(f); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SnapshotResponse{Path: req.Path, Snippets: s.sys.Verdict().SnippetCount()})
@@ -773,14 +821,14 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
 	// Cap the body before decoding: MaxBatchRows alone cannot bound memory
 	// once a multi-GB payload has already been parsed.
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(dst); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return false
 	}
 	return true
@@ -792,10 +840,51 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// Error codes of the structured error envelope: a stable machine-readable
+// classification alongside the human-readable message. The streaming 410
+// contract (code "behind_replay_horizon") predates the envelope and keeps
+// its shape (GoneResponse).
+const (
+	codeBadRequest       = "bad_request"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeNotFound         = "not_found"
+	codeSaturated        = "saturated"
+	codeDraining         = "draining"
+	codeCanceled         = "canceled"
+	codeInternal         = "internal"
+)
+
+// errJSON is the error envelope every non-410 error response carries:
+// {code, error, request_id}. The "error" key predates the envelope and is
+// what existing clients parse, so it stays.
 type errJSON struct {
-	Error string `json:"error"`
+	Code      string `json:"code"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errJSON{Error: err.Error()})
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusMethodNotAllowed:
+		return codeMethodNotAllowed
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusServiceUnavailable:
+		return codeSaturated
+	default:
+		return codeInternal
+	}
+}
+
+// writeErr responds with the error envelope, deriving the code from the
+// status; paths that need a more specific code (draining vs. saturated)
+// use writeErrCode directly.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeErrCode(w, r, status, codeForStatus(status), err)
+}
+
+func writeErrCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	writeJSON(w, status, errJSON{Code: code, Error: err.Error(), RequestID: requestID(r)})
 }

@@ -118,9 +118,11 @@ type StreamChunk struct {
 	GroupsTruncated bool `json:"groups_truncated,omitempty"`
 	// StopReason marks a stream that ended before exhausting the sample:
 	// "target" when the raw CI met the requested target_ci, "error" on a
-	// terminal chunk reporting a mid-stream execution failure (Error set).
+	// terminal chunk reporting a mid-stream execution failure (Error set,
+	// RequestID naming the failed request for log correlation).
 	StopReason string `json:"stop_reason,omitempty"`
 	Error      string `json:"error,omitempty"`
+	RequestID  string `json:"request_id,omitempty"`
 	// Cursor is the resume token for this increment: POST it back with the
 	// original sql and min_rows to continue the stream from here.
 	Cursor *StreamCursor `json:"cursor,omitempty"`
@@ -134,6 +136,8 @@ type GoneResponse struct {
 	Code  string `json:"code"` // always "behind_replay_horizon"
 	// ReplayHorizon is the oldest generation still replayable.
 	ReplayHorizon uint64 `json:"replay_horizon"`
+	// RequestID names the rejected request for log correlation.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // streamFingerprint binds a cursor to the request parameters that shape the
@@ -191,18 +195,26 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	fp, err := req.validate()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
 		return
 	}
 	sess := s.sessions.get(req.Session, time.Now())
 	sess.touch(time.Now())
 	sess.queries.Add(1)
+	noteSession(r, sess.ID)
 	s.streams.Add(1)
+	if s.metrics != nil {
+		s.metrics.activeStreams.Add(1)
+		defer s.metrics.activeStreams.Add(-1)
+		if req.Cursor != nil {
+			s.metrics.resumes.Inc()
+		}
+	}
 
 	pace := time.Duration(req.PaceMS) * time.Millisecond
 	if pace > maxPaceMS*time.Millisecond {
@@ -211,6 +223,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	enc := json.NewEncoder(w)
 	wrote := false
+	var lastChunk time.Time
 	writeChunk := func(c StreamChunk) bool {
 		if !wrote {
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -221,6 +234,15 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		flusher.Flush()
+		// Increment lag is chunk-to-chunk delivery time: scan + inference
+		// + encode + pace, the cadence a watching client experiences.
+		if s.metrics != nil {
+			now := time.Now()
+			if !lastChunk.IsZero() {
+				s.metrics.streamLag.Observe(now.Sub(lastChunk).Seconds())
+			}
+			lastChunk = now
+		}
 		return true
 	}
 
@@ -287,6 +309,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 				writeChunk(StreamChunk{
 					Session: sess.ID, Supported: true,
 					StopReason: "error", Error: err.Error(),
+					RequestID: requestID(r),
 				})
 			}
 		case errors.Is(err, aqp.ErrGenEvicted):
@@ -295,18 +318,21 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			// horizon comes from the typed error — snapshotted under the
 			// same lock that rejected the generation — so the body can
 			// never contradict its own message.
-			gone := GoneResponse{Error: err.Error(), Code: "behind_replay_horizon"}
+			gone := GoneResponse{Error: err.Error(), Code: "behind_replay_horizon", RequestID: requestID(r)}
 			var ge *aqp.GenEvictedError
 			if errors.As(err, &ge) {
 				gone.ReplayHorizon = ge.Horizon
 			} else {
 				gone.ReplayHorizon = s.sys.Engine().ReplayHorizon()
 			}
+			if s.metrics != nil {
+				s.metrics.behindHorizon.Inc()
+			}
 			writeJSON(w, http.StatusGone, gone)
 		default:
 			// Parse/plan failures and bad cursors surface before the first
 			// chunk and can still carry a status.
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, r, http.StatusBadRequest, err)
 		}
 		return
 	}
