@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,7 +32,7 @@ func runClient(hostport string) {
 	fmt.Printf("table %s: %d rows (%d sampled), epoch %d\n",
 		st.Table.Name, st.Table.BaseRows, st.Table.SampleRows, st.Table.Epoch)
 	fmt.Printf("columns: %s\n", strings.Join(st.Table.Columns, ", "))
-	fmt.Println(`type SQL (single line; streams progressive increments), or \oneshot SQL, \exact SQL, \train, \stats, \append N, \quit`)
+	fmt.Println(`type SQL (single line; streams progressive increments), or \oneshot SQL, \exact SQL, \subscribe [ci=X] [rel=Y] SQL, \train, \stats, \append N, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -90,6 +91,8 @@ func runClient(hostport string) {
 			} else {
 				fmt.Printf("synopsis loaded server-side: %d snippets\n", sr.Snippets)
 			}
+		case strings.HasPrefix(line, `\subscribe `):
+			remoteSubscribe(base, session, strings.TrimPrefix(line, `\subscribe `))
 		case strings.HasPrefix(line, `\exact `):
 			remoteQuery(hc, base, session, strings.TrimPrefix(line, `\exact `), true)
 		case strings.HasPrefix(line, `\oneshot `):
@@ -212,6 +215,78 @@ func streamOnce(hc *http.Client, base string, req server.StreamRequest, allowFal
 		}
 	}
 	return false, sc.Err()
+}
+
+// remoteSubscribe drives POST /subscribe: register the SQL once, then
+// render every pushed update live until the server closes the stream
+// (drain) or the connection drops. Optional leading ci=<abs> and
+// rel=<frac> tokens set the push thresholds (both absent: every change
+// pushes). The subscription uses its own timeout-free client — the shared
+// one would kill the stream after 60 s.
+func remoteSubscribe(base, session, args string) {
+	req := server.SubscribeRequest{Session: session}
+	toks := strings.Fields(args)
+	i := 0
+	for ; i < len(toks); i++ {
+		if v, ok := strings.CutPrefix(toks[i], "ci="); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fmt.Println("bad ci= value:", err)
+				return
+			}
+			req.DeltaCI = f
+		} else if v, ok := strings.CutPrefix(toks[i], "rel="); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fmt.Println("bad rel= value:", err)
+				return
+			}
+			req.DeltaRel = f
+		} else {
+			break
+		}
+	}
+	req.SQL = strings.Join(toks[i:], " ")
+	if req.SQL == "" {
+		fmt.Println(`usage: \subscribe [ci=X] [rel=Y] SELECT ...`)
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	resp, err := (&http.Client{}).Post(base+"/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Println("error:", decodeResponse(resp, nil))
+		return
+	}
+	fmt.Println("  subscribed — updates push on append/rebuild/train (server drain ends the stream)")
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var c server.StreamChunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			fmt.Println("truncated chunk:", err)
+			return
+		}
+		if c.StopReason != "" {
+			fmt.Printf("  subscription closed by server (%s)\n", c.StopReason)
+			return
+		}
+		fmt.Printf("  [%s #%d, gen %d, %d base rows] %.6g ± %.3g\n",
+			c.PushReason, c.Seq, c.SampleGen, c.BaseRows, c.Estimate, c.CI)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Println("subscription stream error:", err)
+	} else {
+		fmt.Println("  subscription stream ended")
+	}
 }
 
 func remoteQuery(hc *http.Client, base, session, sql string, exact bool) {

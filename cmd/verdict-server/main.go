@@ -17,6 +17,10 @@
 //	                   (NDJSON: one chunk per increment; target_ci stops the stream server-side
 //	                   once the raw CI is tight enough; POSTing a chunk's cursor back resumes an
 //	                   interrupted stream bit-identically — 410 once evicted past -max-retained-gens)
+//	POST /subscribe    {"sql": "...", "delta_ci": 0, "delta_rel": 0.01, "debounce_ms": 0}
+//	                   (long-lived NDJSON: an immediate snapshot chunk, then one push per
+//	                   append/rebuild/train whose estimate or CI moved past the thresholds;
+//	                   each chunk replays bit-identically at its pinned sample_gen)
 //	POST /append       {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
 //	POST /train        {}
 //	POST /rebuild      {}                         (re-shuffle the sample; epoch swap)
@@ -70,6 +74,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "synopsis shards (0 = default 8); writer throughput scales with shards on multi-function workloads")
 		rebRows   = flag.Int("rebuild-after-rows", 0, "auto-rebuild the sample after this many appended rows land (0 disables auto-rebuild)")
 		rebQuiet  = flag.Duration("rebuild-quiet", 2*time.Second, "idle period required before an armed auto-rebuild fires")
+		maxSubs   = flag.Int("max-subscriptions", 0, "cap on concurrent /subscribe streams (0 = default 256); excess subscribers are shed with 503")
 		drainWait = flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, how long to let in-flight queries and streams finish before closing")
 		maxGens   = flag.Int("max-retained-gens", 0, "retired sample generations kept for replay/resume (0 keeps all; bounded servers answer behind-horizon cursors with 410)")
 		logFormat = flag.String("log-format", "text", "request log format: text | json")
@@ -111,6 +116,7 @@ func main() {
 		SnapshotDir:      *snapDir,
 		RebuildAfterRows: *rebRows,
 		RebuildQuiet:     *rebQuiet,
+		MaxSubscriptions: *maxSubs,
 		Logger:           logger,
 		Metrics:          reg,
 		Generate: func(n int, genSeed int64) (*storage.Table, error) {

@@ -163,6 +163,16 @@ func (e *Engine) evictLocked() {
 	})
 }
 
+// PinnedGens is the number of sample generations currently pinned against
+// eviction by live streams or standing subscriptions — a leak detector for
+// tests: it must return to zero once every stream has ended and every
+// subscription has been torn down.
+func (e *Engine) PinnedGens() int {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	return len(e.pins)
+}
+
 // ReplayHorizon is the oldest sample generation still replayable through
 // ViewAtGen/PinGen: retiredBase while retired generations remain, else the
 // live generation. Lock-free.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/mathx"
 	"repro/internal/obs"
 )
@@ -65,6 +67,13 @@ type Config struct {
 	// timing entirely: instrumentation reduces to one branch per stage, so
 	// benchmarks and library callers are unperturbed.
 	Stages obs.StageTimer
+	// Now is the clock behind every time-gated policy decision — the push
+	// debounce of standing subscriptions and, through System.Now, the
+	// serving layer's auto-rebuild quiet gate. Nil (the default) selects
+	// time.Now. Tests inject a fake clock here so quiet-period and debounce
+	// behavior is exercised with zero sleeps. Performance measurements
+	// (stage latencies, inference overhead) always use the real clock.
+	Now func() time.Time
 }
 
 // Defaults per the paper.
@@ -104,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetainedGens < 0 {
 		c.MaxRetainedGens = 0
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }

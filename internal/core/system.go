@@ -40,6 +40,11 @@ type System struct {
 	appendMu    sync.Mutex // serializes Append/RebuildSample end-to-end
 	appendSeed  int64
 	rebuildSeed int64
+
+	// standing holds the continuous-query state: the notify hub, the
+	// deduplicated standing plans and their carried scans (see standing.go).
+	// Lock order is appendMu → standing.mu → engine/verdict internals.
+	standing standingState
 }
 
 // SystemStats counts processed queries by classification.
@@ -56,6 +61,19 @@ type SystemStats struct {
 	Resumed     int   // cursor resumptions served through ExecuteProgressiveFrom
 	Increments  int   // progressive increments emitted across all streams
 	InferenceNS int64 // cumulative wall-clock inference+record overhead
+
+	// Continuous-query (standing subscription) counters. NotifyScans counts
+	// incremental sample passes: one per unique plan per notify batch, plus
+	// one full fold when a plan is first created or must rebind after a
+	// generation swap — NOT one per subscriber, which is the shared-scan
+	// dedup the tests assert. NotifyCoalesced counts pushes that overwrote a
+	// stalled subscriber's queued update instead of growing its queue.
+	Subscribes      int // Subscribe calls accepted
+	NotifyBatches   int // append/rebuild/train events fanned out to standing plans
+	NotifyScans     int // incremental (or rebinding) scans run for standing plans
+	NotifyPushes    int // updates pushed to subscribers (threshold passed)
+	NotifyCoalesced int // pushes coalesced into a full subscriber queue
+	NotifyDebounced int // pushes suppressed by a subscriber's min push interval
 }
 
 // NewSystem builds a System over an engine with the given configuration.
@@ -159,7 +177,28 @@ func (s *System) Append(batch *storage.Table) (sampled int, err error) {
 		st.Appends++
 		st.AppendRows += batch.Rows()
 	})
+	// Standing subscriptions see the append after the drift adjustment has
+	// published, so a pushed update and its later replay infer against the
+	// same model states.
+	s.notifyStanding(PushReasonAppend)
 	return sampled, nil
+}
+
+// Now reads the system clock — time.Now unless Config.Now injected a fake
+// one. The serving layer keys its quiet-period and debounce decisions off
+// this, so one injected clock drives every time-gated policy in a test.
+func (s *System) Now() time.Time { return s.cfg.Now() }
+
+// Train re-fits every model in the synopsis (Verdict.Train) and then
+// notifies standing subscriptions: training republishes model states, so
+// every standing plan's estimate may have moved. Prefer this over
+// Verdict().Train() when subscriptions may be live.
+func (s *System) Train() error {
+	if err := s.Verdict().Train(); err != nil {
+		return err
+	}
+	s.notifyStanding(PushReasonTrain)
+	return nil
 }
 
 // SaveSynopsis serializes the synopsis while holding the append lock, so
@@ -185,6 +224,10 @@ func (s *System) RebuildSample() (gen uint64, sampleRows int) {
 	s.rebuildSeed++
 	gen = s.engine.RebuildSample(8_000_000+s.rebuildSeed, aqp.DefaultRebuildOptions())
 	s.bumpStats(func(st *SystemStats) { st.Rebuilds++ })
+	// The generation swap invalidates every carried standing fold; the
+	// notify pass re-pins each plan on the new generation and pays one full
+	// re-fold per plan (still one scan per plan, not per subscriber).
+	s.notifyStanding(PushReasonRebuild)
 	return gen, s.engine.Acquire().SampleRows
 }
 

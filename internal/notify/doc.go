@@ -1,0 +1,23 @@
+// Package notify is the fan-out layer behind continuous queries: a Hub
+// distributes update values to any number of subscribers, each behind its
+// own bounded queue with latest-value coalescing.
+//
+// The design goal is that a publisher never blocks and never allocates per
+// subscriber beyond the queue slot: Push on a full queue overwrites the
+// newest buffered element (and reports the coalescing), so a stalled or
+// slow consumer degrades to "sees only the latest update" instead of
+// backpressuring the hub or its sibling subscribers. This matches the
+// semantics continuous AQP wants — every update supersedes the previous
+// one for the same standing query, so dropping an intermediate update
+// loses freshness, never correctness.
+//
+// Consumers drive Sub.Next, which blocks until a value, a close, or
+// context cancellation. Closing a subscription (Sub.Close, Hub.CloseAll)
+// records a terminal reason; buffered values drain first, so a drain can
+// complete in-flight pushes before the consumer observes the close.
+//
+// The hub holds no reference to the values it moves and imposes no
+// ordering across subscribers; per-subscriber FIFO order (modulo
+// coalescing, which only ever replaces the newest queued element) is
+// guaranteed.
+package notify

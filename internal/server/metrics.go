@@ -31,6 +31,8 @@ type serverMetrics struct {
 	behindHorizon *obs.Counter // resume 410s (cursor generation evicted)
 
 	rebuildDur *obs.Histogram // sample rebuild duration (manual + auto)
+
+	notifyFanout *obs.Histogram // one notify batch's shared-scan + fan-out latency
 }
 
 func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
@@ -54,7 +56,14 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Stream resumes rejected with 410 because the cursor generation fell behind the replay horizon."),
 		rebuildDur: reg.Histogram("verdict_rebuild_duration_seconds",
 			"Sample rebuild duration (manual /rebuild and auto-rebuild).", nil),
+		notifyFanout: reg.Histogram("verdict_notify_fanout_seconds",
+			"Per notify batch: one shared incremental scan per standing plan plus threshold-gated pushes to every subscriber.", nil),
 	}
+	// The fan-out histogram is fed by core's notify hook: one observation
+	// per append/rebuild/train batch that had standing plans to refresh.
+	s.sys.SetNotifyHook(func(_ string, d time.Duration) {
+		m.notifyFanout.Observe(d.Seconds())
+	})
 
 	reg.GaugeFunc("verdict_sessions",
 		"Live sessions in the registry.",
@@ -77,6 +86,18 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	reg.GaugeFunc("verdict_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("verdict_subscriptions_active",
+		"Standing /subscribe streams currently open.",
+		func() float64 { return float64(s.sys.ActiveSubscriptions()) })
+	reg.CounterFunc("verdict_notify_pushes_total",
+		"Updates pushed to standing subscribers (threshold passed).",
+		func() float64 { return float64(s.sys.StatsSnapshot().NotifyPushes) })
+	reg.CounterFunc("verdict_notify_coalesced_total",
+		"Pushes coalesced into a full subscriber queue (stalled consumer saw only the latest update).",
+		func() float64 { return float64(s.sys.StatsSnapshot().NotifyCoalesced) })
+	reg.CounterFunc("verdict_notify_scans_total",
+		"Incremental shared scans run for standing plans (one per unique plan per notify batch, not one per subscriber).",
+		func() float64 { return float64(s.sys.StatsSnapshot().NotifyScans) })
 
 	// Per-shard synopsis write counters, read straight off the shards'
 	// atomics at scrape time. Caveat: /load swaps the Verdict, restarting

@@ -51,6 +51,11 @@ type Config struct {
 	RebuildQuiet time.Duration
 	// RebuildCheckEvery is the auto-rebuild poll interval (default 500ms).
 	RebuildCheckEvery time.Duration
+	// MaxSubscriptions bounds concurrently open /subscribe streams (default
+	// 256). Subscriptions deliberately do NOT hold worker slots: they are
+	// idle waiters, and holding a slot would permanently block the
+	// auto-rebuild quiet gate, so they get their own cap.
+	MaxSubscriptions int
 	// Logger receives one structured log line per request (request ID,
 	// session, endpoint, status, duration). Nil disables request logging.
 	Logger *slog.Logger
@@ -83,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.RebuildCheckEvery <= 0 {
 		c.RebuildCheckEvery = 500 * time.Millisecond
 	}
+	if c.MaxSubscriptions <= 0 {
+		c.MaxSubscriptions = 256
+	}
 	return c
 }
 
@@ -97,10 +105,11 @@ type Server struct {
 	log      *slog.Logger   // nil disables request logging
 	metrics  *serverMetrics // nil disables serving-layer metrics
 
-	served   atomic.Int64 // requests admitted and executed
-	rejected atomic.Int64 // requests shed by admission control
-	streams  atomic.Int64 // progressive /query/stream requests admitted
-	genSeed  atomic.Int64 // seeds server-side batch generation
+	served      atomic.Int64 // requests admitted and executed
+	rejected    atomic.Int64 // requests shed by admission control
+	streams     atomic.Int64 // progressive /query/stream requests admitted
+	subscribers atomic.Int64 // open /subscribe streams (own cap, not worker slots)
+	genSeed     atomic.Int64 // seeds server-side batch generation
 
 	// Graceful-drain state: once draining flips, admission sheds every new
 	// request with 503 while handlers (streams included) run to completion;
@@ -136,7 +145,7 @@ func New(sys *core.System, cfg Config) *Server {
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 	}
-	s.lastActivity.Store(time.Now().UnixNano())
+	s.lastActivity.Store(s.now().UnixNano())
 	s.log = cfg.Logger
 	if cfg.Metrics != nil {
 		s.metrics = newServerMetrics(cfg.Metrics, s)
@@ -146,6 +155,10 @@ func New(sys *core.System, cfg Config) *Server {
 	}
 	route("/query", s.admitted(s.handleQuery))
 	route("/query/stream", s.admitStreaming(s.handleQueryStream))
+	// /subscribe manages its own admission (MaxSubscriptions): a standing
+	// subscription is an idle waiter, and parking it on a worker slot would
+	// hold the auto-rebuild quiet gate (len(slots) == 0) open forever.
+	route("/subscribe", s.handleSubscribe)
 	route("/append", s.admitted(s.handleAppend))
 	route("/train", s.admitted(s.handleTrain))
 	route("/rebuild", s.admitted(s.handleRebuild))
@@ -165,6 +178,12 @@ func New(sys *core.System, cfg Config) *Server {
 
 // Handler returns the HTTP handler (mountable under httptest or net/http).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// now reads the system clock (core.Config.Now; time.Now unless a test
+// injected a fake). Every policy decision that gates on elapsed time — the
+// auto-rebuild quiet period, idle computation — goes through it, so a fake
+// clock drives them with zero sleeps. Metrics and logs keep wall time.
+func (s *Server) now() time.Time { return s.sys.Now() }
 
 // Close stops the background auto-rebuild goroutine (idempotent). It does
 // not drain in-flight requests — callers own the http.Server lifecycle.
@@ -186,24 +205,37 @@ func (s *Server) autoRebuildLoop() {
 			return
 		case <-ticker.C:
 		}
-		if s.pendingRows.Load() < int64(s.cfg.RebuildAfterRows) {
-			continue
-		}
-		// Quiet = nothing admitted recently AND nothing still executing: a
-		// long-running query holds its worker slot, and lastActivity only
-		// moves at admission/completion, so both checks are needed.
-		if len(s.slots) > 0 {
-			continue
-		}
-		idle := time.Duration(time.Now().UnixNano() - s.lastActivity.Load())
-		if idle < s.cfg.RebuildQuiet {
-			continue
-		}
-		s.pendingRows.Store(0)
-		t0 := time.Now()
-		s.sys.RebuildSample()
-		s.observeRebuild(t0)
+		s.maybeAutoRebuild()
 	}
+}
+
+// maybeAutoRebuild is one auto-rebuild poll: it fires System.RebuildSample
+// when the pending-rows threshold is armed and the quiet gate passes, and
+// reports whether a rebuild ran. The ticker loop calls it on wall time;
+// fake-clock tests call it directly after advancing the injected clock.
+func (s *Server) maybeAutoRebuild() bool {
+	if s.cfg.RebuildAfterRows <= 0 {
+		return false
+	}
+	if s.pendingRows.Load() < int64(s.cfg.RebuildAfterRows) {
+		return false
+	}
+	// Quiet = nothing admitted recently AND nothing still executing: a
+	// long-running query holds its worker slot, and lastActivity only
+	// moves at admission/completion, so both checks are needed. Open
+	// subscriptions do not count — they are idle waiters, not load.
+	if len(s.slots) > 0 {
+		return false
+	}
+	idle := time.Duration(s.now().UnixNano() - s.lastActivity.Load())
+	if idle < s.cfg.RebuildQuiet {
+		return false
+	}
+	s.pendingRows.Store(0)
+	t0 := time.Now()
+	s.sys.RebuildSample()
+	s.observeRebuild(t0)
+	return true
 }
 
 // admitted wraps a handler with the bounded worker pool: a request either
@@ -260,12 +292,12 @@ func (s *Server) admit(h http.HandlerFunc, releaseOnCancel bool) http.HandlerFun
 		// Mark activity at admission and at slot release, so a long-running
 		// request keeps the server "busy" until it finishes (or, for a
 		// stream, until its client leaves).
-		s.lastActivity.Store(time.Now().UnixNano())
+		s.lastActivity.Store(s.now().UnixNano())
 		var once sync.Once
 		free := func() {
 			once.Do(func() {
 				<-s.slots
-				s.lastActivity.Store(time.Now().UnixNano())
+				s.lastActivity.Store(s.now().UnixNano())
 			})
 		}
 		defer func() {
@@ -297,9 +329,14 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 
 // BeginDrain flips the server into drain mode: every subsequent request on
 // an admitted endpoint is shed with 503 while in-flight ones — streams
-// included — run to completion. Idempotent; /stats keeps answering so
-// operators can watch the drain.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// included — run to completion, and standing subscriptions are closed with
+// terminal reason "drain" (queued pushes deliver first, then each
+// subscriber gets a final stop_reason chunk). Idempotent; /stats keeps
+// answering so operators can watch the drain.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.sys.CloseSubscriptions("drain")
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -625,7 +662,9 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
-	if err := s.sys.Verdict().Train(); err != nil {
+	// System.Train (not Verdict().Train) so standing subscriptions are
+	// notified of the republished model states.
+	if err := s.sys.Train(); err != nil {
 		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
@@ -682,6 +721,10 @@ type StatsResponse struct {
 		Rejected int64 `json:"rejected"`
 		// Streams counts admitted progressive /query/stream requests.
 		Streams int64 `json:"streams"`
+		// Subscriptions is the number of standing /subscribe streams
+		// currently open; MaxSubscriptions is their admission cap.
+		Subscriptions    int `json:"subscriptions"`
+		MaxSubscriptions int `json:"max_subscriptions"`
 		// Draining is true once graceful shutdown has begun: in-flight
 		// work finishes, new requests shed with 503.
 		Draining bool  `json:"draining"`
@@ -725,6 +768,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Server.Served = s.served.Load()
 	resp.Server.Rejected = s.rejected.Load()
 	resp.Server.Streams = s.streams.Load()
+	resp.Server.Subscriptions = s.sys.ActiveSubscriptions()
+	resp.Server.MaxSubscriptions = s.cfg.MaxSubscriptions
 	resp.Server.Draining = s.Draining()
 	resp.Server.UptimeMS = time.Since(s.start).Milliseconds()
 	resp.Metrics = s.metricsSummary()

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -425,36 +426,73 @@ func TestServerRebuildEndpointAndShardStats(t *testing.T) {
 	}
 }
 
+// The auto-rebuild quiet-period policy, driven entirely on an injected
+// fake clock — zero sleeps, zero polling. The background ticker is parked
+// on an hour-long interval; the test advances the clock and calls the poll
+// body (maybeAutoRebuild) directly, exactly what the ticker would do.
 func TestServerAutoRebuildDuringQuietPeriod(t *testing.T) {
-	srv, sys, ts := fixture(t, 10000, Config{
+	var clock atomic.Int64
+	clock.Store(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	advance := func(d time.Duration) { clock.Add(int64(d)) }
+
+	tb := salesTable(t, 10000, 42)
+	sample, err := aqp.BuildSample(tb, 0.2, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(aqp.NewEngine(tb, sample, aqp.CachedCost), core.Config{
+		Now: func() time.Time { return time.Unix(0, clock.Load()) },
+	})
+	srv := New(sys, Config{
 		RebuildAfterRows:  2000,
-		RebuildQuiet:      50 * time.Millisecond,
-		RebuildCheckEvery: 10 * time.Millisecond,
+		RebuildQuiet:      time.Minute,
+		RebuildCheckEvery: time.Hour, // parks the real ticker; the test drives polls
+		Generate: func(n int, seed int64) (*storage.Table, error) {
+			return salesTable(t, n, seed), nil
+		},
 	})
 	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
 
-	// Below the threshold: no rebuild even when quiet.
+	// Below the threshold: no amount of quiet arms a rebuild.
 	if code := post(t, ts.URL+"/append", AppendRequest{Generate: 500}, nil); code != 200 {
 		t.Fatal("append failed")
 	}
-	time.Sleep(120 * time.Millisecond)
+	advance(time.Hour)
+	if srv.maybeAutoRebuild() {
+		t.Fatal("rebuild fired below the pending-rows threshold")
+	}
 	if gen := sys.Engine().SampleGen(); gen != 0 {
-		t.Fatalf("rebuild fired below threshold (gen=%d)", gen)
+		t.Fatalf("gen=%d", gen)
 	}
 
-	// Cross the threshold, then go quiet: the background trigger fires.
+	// Cross the threshold while traffic is fresh: the quiet gate holds.
 	if code := post(t, ts.URL+"/append", AppendRequest{Generate: 2500}, nil); code != 200 {
 		t.Fatal("append failed")
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for sys.Engine().SampleGen() == 0 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	if srv.maybeAutoRebuild() {
+		t.Fatal("rebuild fired inside the quiet window")
+	}
+	advance(30 * time.Second) // still inside RebuildQuiet
+	if srv.maybeAutoRebuild() {
+		t.Fatal("rebuild fired with only 30s of quiet")
+	}
+
+	// Quiet long enough: exactly one rebuild fires and disarms the trigger.
+	advance(31 * time.Second)
+	if !srv.maybeAutoRebuild() {
+		t.Fatal("auto-rebuild did not fire after the quiet period")
 	}
 	if gen := sys.Engine().SampleGen(); gen != 1 {
-		t.Fatalf("auto-rebuild did not fire (gen=%d)", gen)
+		t.Fatalf("gen=%d after auto-rebuild", gen)
 	}
 	if st := sys.StatsSnapshot(); st.Rebuilds != 1 {
 		t.Fatalf("Rebuilds=%d", st.Rebuilds)
+	}
+	advance(time.Hour)
+	if srv.maybeAutoRebuild() {
+		t.Fatal("rebuild re-fired without new appended rows")
 	}
 	// Close is idempotent and stops the loop.
 	srv.Close()

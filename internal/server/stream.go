@@ -116,10 +116,15 @@ type StreamChunk struct {
 	// GroupsTruncated reports that the answer set exceeded the configured
 	// Nmax group cap and rows carries only the first Nmax groups.
 	GroupsTruncated bool `json:"groups_truncated,omitempty"`
+	// PushReason is set only on /subscribe chunks: what triggered this push
+	// ("subscribe" for the initial state, then "append", "rebuild" or
+	// "train").
+	PushReason string `json:"push_reason,omitempty"`
 	// StopReason marks a stream that ended before exhausting the sample:
 	// "target" when the raw CI met the requested target_ci, "error" on a
 	// terminal chunk reporting a mid-stream execution failure (Error set,
-	// RequestID naming the failed request for log correlation).
+	// RequestID naming the failed request for log correlation), "drain" on
+	// a /subscribe stream's final chunk when the server began draining.
 	StopReason string `json:"stop_reason,omitempty"`
 	Error      string `json:"error,omitempty"`
 	RequestID  string `json:"request_id,omitempty"`
