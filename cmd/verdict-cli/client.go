@@ -279,6 +279,17 @@ func remoteSubscribe(base, session, args string) {
 			fmt.Printf("  subscription closed by server (%s)\n", c.StopReason)
 			return
 		}
+		if len(c.Rows) > 1 || (len(c.Rows) == 1 && len(c.Rows[0].Group) > 0) {
+			// Grouped standing query: one line per group row.
+			trunc := ""
+			if c.GroupsTruncated {
+				trunc = ", truncated"
+			}
+			fmt.Printf("  [%s #%d, gen %d, %d base rows, %d groups%s]\n",
+				c.PushReason, c.Seq, c.SampleGen, c.BaseRows, len(c.Rows), trunc)
+			printRows(c.Rows, false)
+			continue
+		}
 		fmt.Printf("  [%s #%d, gen %d, %d base rows] %.6g ± %.3g\n",
 			c.PushReason, c.Seq, c.SampleGen, c.BaseRows, c.Estimate, c.CI)
 	}

@@ -39,5 +39,10 @@
 //
 // Determinism: scans fan out across workers but merge per-worker
 // accumulators in fixed order, so a replay of the same view is
-// float-identical to the original run.
+// float-identical to the original run. Standing scans — StandingScan for
+// flat snippet lists, GroupedStandingScan for GROUP BY discovery folds —
+// carry accumulator state across appends and extend it by folding only
+// newly landed batches, reproducing the one-shot merge tree bit for bit;
+// they refuse (and the caller rebinds) whenever the generation, scan mode,
+// batch size or grouped-spec fingerprint drifts.
 package aqp

@@ -591,66 +591,99 @@ type GroupedResult struct {
 // scan walks the sample batch by batch exactly like RunToCompletion, so
 // unit boundaries (and hence the float merge shape) match the legacy
 // execution's final batch state.
-func (v *View) GroupedRunToCompletion(spec *query.GroupedSpec, nmax int) *GroupedResult {
-	if v.stages != nil {
-		defer v.observeScan(obs.ModeOneShot, true, time.Now())
+// groupedFold is the carried cross-unit master state of a discovery scan:
+// the per-group master accumulators, the code-key lookup, and the running
+// unit/row counters the first-sight and absent-group backfills depend on.
+// GroupedRunToCompletion drives a fresh fold over every batch; a
+// GroupedStandingScan carries one across appends and folds only new
+// batches. Both produce bit-identical results because foldRange executes
+// the exact statement sequence of the original single-shot loop.
+type groupedFold struct {
+	masters []*groupMaster
+	lookup  map[uint64]int
+	scanned int // rows folded so far (scannedBefore in merge order)
+	unitNo  int // units folded so far (1-based stamps)
+}
+
+func newGroupedFold() *groupedFold {
+	return &groupedFold{lookup: make(map[uint64]int)}
+}
+
+// foldRange folds one batch's scan range [start, end) into the masters:
+// discovery units in unit order, first-sight AddZeros backfill for newly
+// discovered groups, absent-group AddZeros backfill per finished unit —
+// the deterministic merge tree shared with the per-snippet scan.
+func (f *groupedFold) foldRange(data *storage.Table, gs *groupedScan, start, end int) {
+	b0 := start / storage.BlockSize
+	b1 := (end - 1) / storage.BlockSize
+	nblocks := b1 - b0 + 1
+	units := (nblocks + unitBlocks - 1) / unitBlocks
+	parts := discoverUnits(data, gs, 0, units, start, end, 0)
+	for _, u := range parts {
+		f.unitNo++
+		for gi := range u.groups {
+			gp := &u.groups[gi]
+			key := query.PackKey(gp.codes, gs.shifts)
+			idx, ok := f.lookup[key]
+			if !ok {
+				m := &groupMaster{codes: gp.codes}
+				// Pre-discovery prefix: a pure zero count, exact.
+				m.freq.AddZeros(int64(f.scanned))
+				if len(gs.avgFams) > 0 {
+					m.avg = make([]mathx.Moments, len(gs.avgFams))
+				}
+				idx = len(f.masters)
+				f.masters = append(f.masters, m)
+				f.lookup[key] = idx
+			}
+			m := f.masters[idx]
+			m.freq.Merge(gp.freq)
+			for k := range gp.avg {
+				m.avg[k].Merge(gp.avg[k])
+			}
+			m.stamp = f.unitNo
+		}
+		// Backfill groups absent from this unit: the per-snippet partial
+		// they would have merged is the pure count {u.scanned,0,0}.
+		for _, m := range f.masters {
+			if m.stamp != f.unitNo {
+				m.freq.AddZeros(int64(u.scanned))
+			}
+		}
+		f.scanned += u.scanned
 	}
-	if nmax <= 0 {
-		nmax = query.DefaultNmax
+}
+
+// clone deep-copies the fold so a partial tail batch can fold into a
+// throwaway copy while the carried state stays pinned at the last complete
+// batch. Master codes are shared (immutable after discovery); moments and
+// stamps are value-copied.
+func (f *groupedFold) clone() *groupedFold {
+	out := &groupedFold{
+		scanned: f.scanned,
+		unitNo:  f.unitNo,
+		lookup:  make(map[uint64]int, len(f.lookup)),
 	}
-	gs := newDiscoverScan(spec)
+	for k, v := range f.lookup {
+		out.lookup[k] = v
+	}
+	out.masters = make([]*groupMaster, len(f.masters))
+	for i, m := range f.masters {
+		c := &groupMaster{codes: m.codes, freq: m.freq, stamp: m.stamp}
+		if m.avg != nil {
+			c.avg = append([]mathx.Moments(nil), m.avg...)
+		}
+		out.masters[i] = c
+	}
+	return out
+}
+
+// result orders, truncates and estimates the folded masters into a
+// GroupedResult. It only reads the fold, which can keep extending after.
+func (f *groupedFold) result(v *View, gs *groupedScan, spec *query.GroupedSpec, nmax, lastBatch int) *GroupedResult {
 	data := v.Sample.Data
-	var masters []*groupMaster
-	lookup := make(map[uint64]int)
-	scannedBefore := 0
-	unitNo := 0
-	lastBatch := 0
-	for b := 0; b < v.Sample.Batches(); b++ {
-		lastBatch = b
-		start, end := v.Sample.BatchBounds(b)
-		if end <= start {
-			continue
-		}
-		b0 := start / storage.BlockSize
-		b1 := (end - 1) / storage.BlockSize
-		nblocks := b1 - b0 + 1
-		units := (nblocks + unitBlocks - 1) / unitBlocks
-		parts := discoverUnits(data, gs, 0, units, start, end, 0)
-		for _, u := range parts {
-			unitNo++
-			for gi := range u.groups {
-				gp := &u.groups[gi]
-				key := query.PackKey(gp.codes, spec.Shifts)
-				idx, ok := lookup[key]
-				if !ok {
-					m := &groupMaster{codes: gp.codes}
-					// Pre-discovery prefix: a pure zero count, exact.
-					m.freq.AddZeros(int64(scannedBefore))
-					if len(gs.avgFams) > 0 {
-						m.avg = make([]mathx.Moments, len(gs.avgFams))
-					}
-					idx = len(masters)
-					masters = append(masters, m)
-					lookup[key] = idx
-				}
-				m := masters[idx]
-				m.freq.Merge(gp.freq)
-				for k := range gp.avg {
-					m.avg[k].Merge(gp.avg[k])
-				}
-				m.stamp = unitNo
-			}
-			// Backfill groups absent from this unit: the per-snippet partial
-			// they would have merged is the pure count {u.scanned,0,0}.
-			for _, m := range masters {
-				if m.stamp != unitNo {
-					m.freq.AddZeros(int64(u.scanned))
-				}
-			}
-			scannedBefore += u.scanned
-		}
-	}
-	total := scannedBefore
+	masters := f.masters
+	total := f.scanned
 
 	// Order groups exactly as GroupRows would: by the "|"-joined composite
 	// string key. Dictionaries are shared between base and sample, so the
@@ -719,4 +752,34 @@ func (v *View) GroupedRunToCompletion(spec *query.GroupedSpec, nmax int) *Groupe
 	}
 	res.Update = upd
 	return res
+}
+
+// GroupedRunToCompletion executes a grouped query in one pass over the
+// sample: the discovery kernel aggregates and discovers groups block by
+// block, and per-unit bank results fold into master accumulators in unit
+// order — the same deterministic merge tree as the per-snippet scan, so the
+// estimates are bit-identical to decomposing after a GroupRows pass. The
+// scan walks the sample batch by batch exactly like RunToCompletion, so
+// unit boundaries (and hence the float merge shape) match the legacy
+// execution's final batch state.
+func (v *View) GroupedRunToCompletion(spec *query.GroupedSpec, nmax int) *GroupedResult {
+	if v.stages != nil {
+		defer v.observeScan(obs.ModeOneShot, true, time.Now())
+	}
+	if nmax <= 0 {
+		nmax = query.DefaultNmax
+	}
+	gs := newDiscoverScan(spec)
+	data := v.Sample.Data
+	f := newGroupedFold()
+	lastBatch := 0
+	for b := 0; b < v.Sample.Batches(); b++ {
+		lastBatch = b
+		start, end := v.Sample.BatchBounds(b)
+		if end <= start {
+			continue
+		}
+		f.foldRange(data, gs, start, end)
+	}
+	return f.result(v, gs, spec, nmax, lastBatch)
 }

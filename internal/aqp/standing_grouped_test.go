@@ -1,0 +1,194 @@
+package aqp
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// regionBatch builds an append batch like appendBatch but drawing regions
+// from the given list — letting tests introduce a region the base table has
+// never seen, so the carried grouped fold must discover a new dictionary
+// code mid-stream and backfill its master.
+func regionBatch(t *testing.T, rows int, seed int64, regions []string) *storage.Table {
+	t.Helper()
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "week", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "region", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "val", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	tb := storage.NewTable("t_batch", schema)
+	rng := randx.New(seed)
+	for i := 0; i < rows; i++ {
+		week := rng.Uniform(0, 100)
+		region := regions[int(rng.Uniform(0, float64(len(regions))))%len(regions)]
+		if err := tb.AppendRow([]storage.Value{
+			storage.Num(week), storage.Str(region), storage.Num(10 + week),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// requireGroupedResultEqual asserts bit-for-bit equality between two grouped
+// results: same groups in the same order, same truncation flag, and a
+// bit-identical final update.
+func requireGroupedResultEqual(t *testing.T, label string, got, want *GroupedResult) {
+	t.Helper()
+	if got.Truncated != want.Truncated {
+		t.Fatalf("%s: truncated %v, fresh %v", label, got.Truncated, want.Truncated)
+	}
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("%s: %d groups vs fresh %d", label, len(got.Groups), len(want.Groups))
+	}
+	for i := range want.Groups {
+		if len(got.Groups[i]) != len(want.Groups[i]) {
+			t.Fatalf("%s: group %d arity %d vs fresh %d", label, i, len(got.Groups[i]), len(want.Groups[i]))
+		}
+		for j := range want.Groups[i] {
+			if got.Groups[i][j] != want.Groups[i][j] {
+				t.Fatalf("%s: group %d value %d = %+v, fresh %+v", label, i, j, got.Groups[i][j], want.Groups[i][j])
+			}
+		}
+	}
+	requireBatchUpdateEqual(t, label, got.Update, want.Update)
+}
+
+// TestGroupedStandingScanMatchesRunToCompletion is the grouped incremental
+// replay property: after every append — including one that births a region
+// the fold has never seen — Refresh must equal a fresh
+// GroupedRunToCompletion over the whole grown sample, bit for bit.
+func TestGroupedStandingScanMatchesRunToCompletion(t *testing.T) {
+	tb := buildTable(t, 20000)
+	sample, err := BuildSample(tb, 0.5, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(tb, sample, CachedCost)
+	const sql = "SELECT region, AVG(val), COUNT(*) FROM t WHERE week BETWEEN 10 AND 60 GROUP BY region"
+	gss := NewGroupedStandingScan()
+
+	check := func(step string) {
+		t.Helper()
+		view := e.Acquire()
+		// The spec rebinds against the grown table each refresh, exactly as
+		// the core plan layer re-plans per notify; the fingerprint inside
+		// Refresh decides whether the carried fold still applies.
+		spec := specFor(t, e.Base(), sql)
+		got, ok := gss.Refresh(view, spec, 0)
+		if !ok {
+			t.Fatalf("%s: Refresh refused a same-generation view", step)
+		}
+		fresh := e.ViewAt(view.BaseRows, view.SampleRows).GroupedRunToCompletion(specFor(t, e.Base(), sql), 0)
+		requireGroupedResultEqual(t, step, got, fresh)
+		if gss.Folded() > view.SampleRows {
+			t.Fatalf("%s: folded %d rows beyond the %d-row sample", step, gss.Folded(), view.SampleRows)
+		}
+	}
+
+	check("initial fold")
+	check("refresh without append") // no new rows: emit must be reproducible
+	folded := gss.Folded()
+	for i, rows := range []int{100, 1, 5000, 2500} {
+		if _, err := e.Append(appendBatch(t, rows, int64(50+i)), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		check("after append " + itoa(rows))
+	}
+	// Group birth: a batch dominated by a region the base table never held.
+	if _, err := e.Append(regionBatch(t, 6000, 99, []string{"c", "a"}), 77); err != nil {
+		t.Fatal(err)
+	}
+	check("after new-region append")
+	if gss.Folded() <= folded {
+		t.Fatalf("carried fold never advanced past %d rows", gss.Folded())
+	}
+}
+
+// TestGroupedStandingScanTruncation: the nmax cap and its Truncated flag
+// must replay exactly through the carried fold as groups accumulate past
+// the cap mid-stream.
+func TestGroupedStandingScanTruncation(t *testing.T) {
+	tb := buildTable(t, 12000)
+	sample, err := BuildSample(tb, 0.5, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(tb, sample, CachedCost)
+	const sql = "SELECT region, AVG(val) FROM t GROUP BY region"
+	gss := NewGroupedStandingScan()
+
+	check := func(step string) {
+		t.Helper()
+		view := e.Acquire()
+		spec := specFor(t, e.Base(), sql)
+		got, ok := gss.Refresh(view, spec, 2)
+		if !ok {
+			// Dictionary growth past a power of two rewidths the packed
+			// keys and rightly invalidates the fold; rebind like the core
+			// plan layer and pay one full fold.
+			gss = NewGroupedStandingScan()
+			if got, ok = gss.Refresh(view, spec, 2); !ok {
+				t.Fatalf("%s: fresh scan refused its first view", step)
+			}
+		}
+		fresh := e.ViewAt(view.BaseRows, view.SampleRows).GroupedRunToCompletion(specFor(t, e.Base(), sql), 2)
+		requireGroupedResultEqual(t, step, got, fresh)
+	}
+
+	check("at cap") // two regions, nmax=2: full but not truncated
+	if _, err := e.Append(regionBatch(t, 4000, 31, []string{"c", "d", "a"}), 5); err != nil {
+		t.Fatal(err)
+	}
+	check("past cap") // four regions, nmax=2: truncated tail drops exactly alike
+	if _, err := e.Append(regionBatch(t, 1500, 32, []string{"c", "d", "a", "b"}), 6); err != nil {
+		t.Fatal(err)
+	}
+	check("past cap grown") // no new codes: the rebound fold must carry on
+}
+
+// TestGroupedStandingScanRefusesRebind pins the incompatibility contract: a
+// rebuilt sample or a drifted spec fingerprint cannot extend a carried
+// grouped fold — Refresh must report ok=false, and a replacement scan must
+// replay the new state exactly.
+func TestGroupedStandingScanRefusesRebind(t *testing.T) {
+	tb := buildTable(t, 10000)
+	sample, err := BuildSample(tb, 0.4, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(tb, sample, CachedCost)
+	const sql = "SELECT region, AVG(val), COUNT(*) FROM t WHERE week < 70 GROUP BY region"
+	gss := NewGroupedStandingScan()
+	old := e.Acquire()
+	if _, ok := gss.Refresh(old, specFor(t, e.Base(), sql), 0); !ok {
+		t.Fatal("first Refresh refused")
+	}
+
+	// A different statement (different region bounds) must not extend the
+	// carried fold even on the same view.
+	drifted := specFor(t, e.Base(), "SELECT region, AVG(val), COUNT(*) FROM t WHERE week < 30 GROUP BY region")
+	if _, ok := gss.Refresh(old, drifted, 0); ok {
+		t.Fatal("Refresh extended a carried fold across a spec fingerprint change")
+	}
+
+	e.RebuildSample(999, DefaultRebuildOptions())
+	view := e.Acquire()
+	if view.SampleGen == old.SampleGen {
+		t.Fatal("rebuild did not advance the generation")
+	}
+	if _, ok := gss.Refresh(view, specFor(t, e.Base(), sql), 0); ok {
+		t.Fatal("Refresh extended a carried fold across a generation swap")
+	}
+
+	// A fresh scan binds to the new generation and replays it exactly.
+	gss2 := NewGroupedStandingScan()
+	got, ok := gss2.Refresh(view, specFor(t, e.Base(), sql), 0)
+	if !ok {
+		t.Fatal("fresh scan refused the new generation")
+	}
+	fresh := e.ViewAt(view.BaseRows, view.SampleRows).GroupedRunToCompletion(specFor(t, e.Base(), sql), 0)
+	requireGroupedResultEqual(t, "post-rebuild fresh fold", got, fresh)
+}

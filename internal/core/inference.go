@@ -43,6 +43,17 @@ type Improved struct {
 // sessions can infer concurrently while the single writer records into the
 // master synopsis and republishes.
 func inferOn(st *inferState, sn *query.Snippet, raw query.ScalarEstimate, cfg Config) Improved {
+	return inferOnMemo(st, sn, raw, cfg, nil)
+}
+
+// inferOnMemo is inferOn with an optional covariance-factor memo (a
+// standing plan carries one per snippet; see planInfer). The memo only
+// short-circuits the per-dimension integral factors of the covariance
+// vector k and the self-variance κ̄², each guarded by an exact input
+// signature (kernel.CovarianceMemo), so the result is bit-identical to
+// the uncached computation — the replay-equality audit every pushed
+// standing Result undergoes exercises exactly this claim.
+func inferOnMemo(st *inferState, sn *query.Snippet, raw query.ScalarEstimate, cfg Config, mem *snippetMemo) Improved {
 	out := Improved{
 		Answer:      raw.Value,
 		Err:         raw.StdErr,
@@ -60,14 +71,23 @@ func inferOn(st *inferState, sn *query.Snippet, raw query.ScalarEstimate, cfg Co
 	k := make([]float64, n)
 	resid := make([]float64, n)
 	mu := st.mu
+	var pairs []kernel.PairMemo
+	var self *kernel.PairMemo
+	if mem != nil {
+		pairs, self = mem.pairsFor(n), &mem.self
+	}
 	for i := range st.entries {
 		e := &st.entries[i]
-		k[i] = kernel.Covariance(e.sn, sn, st.params)
+		if pairs != nil {
+			k[i] = kernel.CovarianceMemo(e.sn, sn, st.params, &pairs[i])
+		} else {
+			k[i] = kernel.Covariance(e.sn, sn, st.params)
+		}
 		resid[i] = e.theta - kernel.PriorMean(e.sn, mu)
 	}
 	// Prior variance of θ̄_{n+1}: kernel self-covariance plus the
 	// finite-population nugget the engine reported for this snippet.
-	kappa2 := kernel.Variance(sn, st.params) + raw.PopErr*raw.PopErr
+	kappa2 := kernel.CovarianceMemo(sn, sn, st.params, self) + raw.PopErr*raw.PopErr
 
 	w, err := st.chol.Solve(k)
 	if err != nil {

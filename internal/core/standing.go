@@ -18,20 +18,28 @@ import (
 // pushed a fresh model-improved estimate whenever an append, a sample
 // rebuild or a training pass changes the answer materially. The economics
 // are shared-scan: standing plans are deduplicated by their (trimmed) SQL
-// text, every notify batch runs ONE incremental pass per unique plan — a
-// StandingScan carrying its accumulators across appends — and the result
-// fans out through a notify.Hub to any number of subscribers, each behind
-// a bounded coalescing queue with its own push threshold and debounce.
+// text, every notify batch runs ONE incremental pass per unique plan — an
+// ungrouped plan carries a StandingScan, a GROUP BY plan a
+// GroupedStandingScan whose per-group master accumulators and incremental
+// group discovery extend across appends — and the result fans out through
+// a notify.Hub to any number of subscribers, each behind a bounded
+// coalescing queue with its own push threshold and debounce. Threshold
+// gating is per-(group, cell): a group appearing or disappearing, or the
+// truncation flag flipping, always pushes (the per-cell comparison is
+// meaningless across different row sets).
 //
 // Every pushed Result is auditable: its raw and improved cells are
 // bit-identical to a fresh one-shot replay at its pinned provenance,
 //
 //	sys.ExecuteView(engine.ViewAtGen(SampleGen, BaseRows, SampleRows), sql)
 //
-// because the carried fold replays RunToCompletion's exact batch merge
-// tree (see aqp.StandingScan) and inference runs against the same
-// published model states the replay will read — notify passes run after
-// the mutation's model updates publish and record nothing themselves.
+// because the carried fold replays the exact batch merge tree of the
+// one-shot execution (see aqp.StandingScan / aqp.GroupedStandingScan) and
+// inference runs against the same published model states the replay will
+// read — notify passes run after the mutation's model updates publish and
+// record nothing themselves, and the plan's carried covariance memo
+// (planInfer) is signature-guarded to be bit-identical to the fresh
+// inference the replay performs.
 
 // Push reasons carried on every update.
 const (
@@ -85,6 +93,8 @@ type Subscription struct {
 	seq       int
 	lastPush  time.Time
 	lastCells []pushedCell
+	lastKeys  []string // per-row group keys of the last push, row order
+	lastTrunc bool
 	hasLast   bool
 	removed   bool
 }
@@ -110,13 +120,17 @@ func (sub *Subscription) Close() { sub.sys.Unsubscribe(sub) }
 
 // standingPlan is one deduplicated standing query: its pinned view (the
 // generation is held against eviction between notify batches), the carried
-// incremental scan, and the subscribers sharing it.
+// incremental scan — scan for ungrouped plans, gscan for GROUP BY plans;
+// exactly one is non-nil — the carried inference memo, and the subscribers
+// sharing it.
 type standingPlan struct {
 	sql     string
 	view    *aqp.View
 	release func()
 	pl      *queryPlan
 	scan    *aqp.StandingScan
+	gscan   *aqp.GroupedStandingScan
+	infer   planInfer
 	lastUpd aqp.BatchUpdate
 	lastRes *Result
 	subs    []*Subscription
@@ -155,10 +169,11 @@ func (s *System) ActiveSubscriptions() int {
 // current full-sample answer; thereafter System.Append, RebuildSample and
 // Train push refreshed answers that pass the subscription's thresholds.
 // Plans are shared: K subscribers on the same SQL cost one carried scan
-// per notify batch, not K. Grouped statements are rejected — standing
-// subscriptions serve ungrouped aggregates, whose snippet set is stable
-// under appends (a grouped answer set can grow rows mid-stream, which
-// would break per-cell threshold comparison and replay pinning).
+// per notify batch, not K. GROUP BY statements stand too: the grouped
+// one-scan kernel folds incrementally (aqp.GroupedStandingScan), newly
+// appearing groups join the carried fold with an exact zero backfill, and
+// a changed row set (group birth/death, Nmax truncation flips —
+// Result.GroupsTruncated) always pushes regardless of thresholds.
 func (s *System) Subscribe(sql string, opts SubscribeOptions) (*Subscription, error) {
 	key := strings.TrimSpace(sql)
 	st := &s.standing
@@ -219,12 +234,15 @@ func (s *System) Unsubscribe(sub *Subscription) {
 // CloseSubscriptions ends every standing subscription with the given
 // terminal reason (the serving layer's drain passes "drain"): queued
 // updates drain to their consumers first, then Next reports the close.
-// All generation pins are released.
+// All generation pins are released. The standing state fully resets: a
+// later Subscribe starts a fresh hub and plan set rather than inheriting
+// the closed hub (whose Subscribe returns already-closed subs).
 func (s *System) CloseSubscriptions(reason string) {
 	st := &s.standing
 	st.mu.Lock()
 	hub := st.hub
 	plans := st.plans
+	st.hub = nil
 	st.plans = nil
 	for _, p := range plans {
 		for _, sub := range p.subs {
@@ -245,7 +263,7 @@ func (s *System) CloseSubscriptions(reason string) {
 // the plan's one full fold. Caller holds standing.mu.
 func (s *System) newStandingPlanLocked(sql string) (*standingPlan, error) {
 	view, release := s.engine.AcquirePinned()
-	pl, res, err := s.plan(view, sql, obs.ModeOneShot, false, false)
+	pl, res, err := s.plan(view, sql, obs.ModeOneShot, false, true)
 	if err != nil {
 		release()
 		return nil, err
@@ -254,18 +272,14 @@ func (s *System) newStandingPlanLocked(sql string) (*standingPlan, error) {
 		release()
 		return nil, fmt.Errorf("core: unsupported query cannot stand: %s", strings.Join(res.Reasons, "; "))
 	}
-	if len(pl.stmt.GroupBy) > 0 {
+	p := &standingPlan{sql: sql, view: view, release: release}
+	upd, err := s.refreshScanLocked(p, view, pl)
+	if err != nil {
 		release()
-		return nil, fmt.Errorf("core: standing subscriptions support ungrouped aggregates only")
-	}
-	p := &standingPlan{sql: sql, view: view, release: release, pl: pl, scan: aqp.NewStandingScan(pl.snips)}
-	upd, ok := p.scan.Refresh(view)
-	if !ok { // unreachable: a first Refresh always binds
-		release()
-		return nil, fmt.Errorf("core: standing scan failed to bind")
+		return nil, err
 	}
 	s.bumpStats(func(ss *SystemStats) { ss.NotifyScans++ })
-	p.lastUpd = upd
+	p.pl, p.lastUpd = pl, upd
 	if p.lastRes, err = s.composeStanding(p, upd); err != nil {
 		release()
 		return nil, err
@@ -308,11 +322,11 @@ func (s *System) notifyStanding(reason string) {
 // refreshPlanLocked advances one standing plan to the engine's current
 // state: re-pin, re-plan (region bindings can shift as domains grow),
 // extend the carried fold — or rebind with one full fold when the sample
-// generation swapped or the snippet set changed — and recompose the
+// generation swapped or the plan shape changed — and recompose the
 // result. Exactly one scan pass either way. Caller holds standing.mu.
 func (s *System) refreshPlanLocked(p *standingPlan) error {
 	view, release := s.engine.AcquirePinned()
-	pl, _, err := s.plan(view, p.sql, obs.ModeOneShot, false, false)
+	pl, _, err := s.plan(view, p.sql, obs.ModeOneShot, false, true)
 	if err != nil || pl == nil {
 		release()
 		if err == nil {
@@ -320,8 +334,49 @@ func (s *System) refreshPlanLocked(p *standingPlan) error {
 		}
 		return err
 	}
+	upd, err := s.refreshScanLocked(p, view, pl)
+	if err != nil {
+		release()
+		return err
+	}
+	s.bumpStats(func(ss *SystemStats) { ss.NotifyScans++ })
+	p.release()
+	p.view, p.release, p.pl, p.lastUpd = view, release, pl, upd
+	p.lastRes, err = s.composeStanding(p, upd)
+	return err
+}
+
+// refreshScanLocked runs the plan's single incremental pass against
+// (view, pl): the grouped discovery fold when the statement factored into
+// a grouped spec, the per-snippet fold otherwise. Carried state extends
+// when the binding holds (same generation, mode, batch size and — grouped
+// — spec fingerprint; ungrouped — snippet keys) and rebinds with one full
+// fold when it does not. On the grouped path pl is materialized from the
+// fold's discovered groups, so its snippet list and truncation flag match
+// what a one-shot execution of the same view would plan. Caller holds
+// standing.mu.
+func (s *System) refreshScanLocked(p *standingPlan, view *aqp.View, pl *queryPlan) (aqp.BatchUpdate, error) {
+	if pl.spec != nil {
+		g := p.gscan
+		var gr *aqp.GroupedResult
+		ok := false
+		if g != nil {
+			gr, ok = g.Refresh(view, pl.spec, s.nmax())
+		}
+		if !ok {
+			g = aqp.NewGroupedStandingScan()
+			if gr, ok = g.Refresh(view, pl.spec, s.nmax()); !ok { // unreachable: a first Refresh always binds
+				return aqp.BatchUpdate{}, fmt.Errorf("core: grouped standing scan failed to bind")
+			}
+		}
+		if err := pl.materialize(gr, s.nmax()); err != nil {
+			return aqp.BatchUpdate{}, err
+		}
+		p.gscan, p.scan = g, nil
+		return gr.Update, nil
+	}
 	scan := p.scan
-	if !sameSnippets(p.pl.snips, pl.snips) {
+	if scan == nil || !sameSnippets(p.pl.snips, pl.snips) {
 		scan = aqp.NewStandingScan(pl.snips)
 	}
 	upd, ok := scan.Refresh(view)
@@ -329,24 +384,24 @@ func (s *System) refreshPlanLocked(p *standingPlan) error {
 		scan = aqp.NewStandingScan(pl.snips)
 		upd, _ = scan.Refresh(view)
 	}
-	s.bumpStats(func(ss *SystemStats) { ss.NotifyScans++ })
-	p.release()
-	p.view, p.release, p.pl, p.scan, p.lastUpd = view, release, pl, scan, upd
-	p.lastRes, err = s.composeStanding(p, upd)
-	return err
+	p.scan, p.gscan = scan, nil
+	return upd, nil
 }
 
 // composeStanding turns a plan's final BatchUpdate into a full Result —
 // the same sanitize/infer/compose sequence execute runs, against a fresh
-// snapshot of the published model states.
+// snapshot of the published model states, with the covariance integrals
+// served from the plan's carried signature-guarded memo (planInfer):
+// bit-identical to full re-inference, cheap on appends where no region
+// bound or length-scale moved.
 func (s *System) composeStanding(p *standingPlan, upd aqp.BatchUpdate) (*Result, error) {
 	snap := s.Verdict().SnapshotFor(p.pl.snips)
-	improved, usedModel, _ := inferAll(snap, p.pl.snips, upd.Estimates)
+	improved, usedModel, _ := p.infer.inferAll(snap, p.pl.snips, upd.Estimates)
 	res := &Result{
 		SQL: p.sql, Supported: true,
 		Epoch: p.view.Epoch, SampleGen: p.view.SampleGen,
 		BaseRows: p.view.BaseRows, SampleRows: p.view.SampleRows,
-		SimTime: upd.SimTime,
+		SimTime: upd.SimTime, GroupsTruncated: p.pl.truncated,
 	}
 	var err error
 	res.Rows, err = composeRows(p.pl, upd.Estimates, improved, usedModel)
@@ -387,11 +442,26 @@ func (s *System) pushLocked(sub *Subscription, res *Result, reason string, now t
 }
 
 // moved reports whether res differs enough from the last pushed state to
-// clear the subscription's thresholds. Structure changes (row or cell
-// count) always push; with both thresholds zero every batch pushes.
+// clear the subscription's thresholds. Structure changes always push —
+// a group born or died (the per-row group-key sequence changed), the
+// truncation flag flipped, or the cell count moved — because per-cell
+// deltas are meaningless across different row sets. With both thresholds
+// zero every batch pushes.
 func (sub *Subscription) moved(res *Result, alpha float64) bool {
 	if !sub.hasLast {
 		return true
+	}
+	if sub.lastTrunc != res.GroupsTruncated {
+		return true
+	}
+	keys := groupKeys(res)
+	if len(keys) != len(sub.lastKeys) {
+		return true
+	}
+	for i, k := range keys {
+		if k != sub.lastKeys[i] {
+			return true
+		}
 	}
 	if sub.opts.DeltaCI <= 0 && sub.opts.DeltaRel <= 0 {
 		return true
@@ -420,7 +490,32 @@ func (sub *Subscription) moved(res *Result, alpha float64) bool {
 
 func (sub *Subscription) recordCells(res *Result, alpha float64) {
 	sub.lastCells = flattenCells(res, alpha)
+	sub.lastKeys = groupKeys(res)
+	sub.lastTrunc = res.GroupsTruncated
 	sub.hasLast = true
+}
+
+// groupKeys projects a Result onto its per-row composite group keys (nil
+// for the single ungrouped row) — the row-set identity the structure
+// check compares.
+func groupKeys(res *Result) []string {
+	if len(res.Rows) == 1 && len(res.Rows[0].Group) == 0 {
+		return nil
+	}
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		var sb strings.Builder
+		for _, g := range row.Group {
+			sb.WriteByte('|')
+			if g.Str != "" {
+				sb.WriteString(g.Str)
+			} else {
+				fmt.Fprintf(&sb, "%g", g.Num)
+			}
+		}
+		out[i] = sb.String()
+	}
+	return out
 }
 
 // flattenCells projects a Result onto the (estimate, CI half-width) pairs

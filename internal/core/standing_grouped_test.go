@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/aqp"
+	"repro/internal/randx"
+	"repro/internal/storage"
+)
+
+// groupedStandingQueries are the GROUP BY members of the standing workload.
+var groupedStandingQueries = []string{
+	"SELECT region, AVG(revenue) FROM sales GROUP BY region",
+	"SELECT region, SUM(revenue), COUNT(*) FROM sales WHERE week BETWEEN 5 AND 40 GROUP BY region",
+}
+
+// regionSalesBatch is salesBatch with a caller-chosen region list, so tests
+// can append rows for a region the base table has never seen and force a
+// group birth through the carried fold.
+func regionSalesBatch(t *testing.T, rows int, seed int64, regions []string) *storage.Table {
+	t.Helper()
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "week", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "region", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "revenue", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	tb := storage.NewTable("sales_batch", schema)
+	rng := randx.New(seed)
+	for i := 0; i < rows; i++ {
+		w := rng.Uniform(0, 52)
+		rg := regions[rng.Intn(len(regions))]
+		rev := 55 + 2*w + rng.Normal(0, 3)
+		if err := tb.AppendRow([]storage.Value{
+			storage.Num(w), storage.Str(rg), storage.Num(rev),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// TestGroupedSubscribeReplayEqualityProperty is the grouped version of the
+// replay property: under a seeded interleaving of append / rebuild / train
+// — including an append that births a region the plan has never grouped —
+// every pushed update on every GROUP BY subscription replays
+// bit-identically (raw AND improved cells, so the carried covariance memo
+// is audited against full re-inference on every push), seq stays gapless,
+// and the scan accounting stays one shared scan per plan per batch.
+func TestGroupedSubscribeReplayEqualityProperty(t *testing.T) {
+	sys := systemFixture(t, 20000, 0.2)
+	for _, q := range groupedStandingQueries {
+		if _, err := sys.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	subs := make([]*Subscription, len(groupedStandingQueries))
+	nextSeq := make([]int, len(groupedStandingQueries))
+	for i, q := range groupedStandingQueries {
+		sub, err := sys.Subscribe(q, SubscribeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		subs[i] = sub
+	}
+
+	drainOne := func(wantReason string) {
+		t.Helper()
+		for i, sub := range subs {
+			upd, ok := sub.TryNext()
+			if !ok {
+				t.Fatalf("subscriber %d has no buffered update after %q", i, wantReason)
+			}
+			if upd.Reason != wantReason {
+				t.Fatalf("subscriber %d: reason %q, want %q", i, upd.Reason, wantReason)
+			}
+			if upd.Seq != nextSeq[i] {
+				t.Fatalf("subscriber %d: seq %d, want %d (gapless, monotone)", i, upd.Seq, nextSeq[i])
+			}
+			nextSeq[i]++
+			if len(upd.Result.Rows) < 2 {
+				t.Fatalf("subscriber %d: %d groups in push, want >= 2", i, len(upd.Result.Rows))
+			}
+			replayPush(t, sys, groupedStandingQueries[i], upd.Result)
+			if _, extra := sub.TryNext(); extra {
+				t.Fatalf("subscriber %d: more than one update for one mutation", i)
+			}
+		}
+	}
+	drainOne(PushReasonSubscribe)
+
+	rng := randx.New(654)
+	mutations := 0
+	for step := 0; step < 20; step++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			if _, err := sys.Append(salesBatch(t, 50+rng.Intn(900), int64(8000+step))); err != nil {
+				t.Fatal(err)
+			}
+			drainOne(PushReasonAppend)
+		case 2:
+			sys.RebuildSample()
+			drainOne(PushReasonRebuild)
+		case 3:
+			if err := sys.Train(); err != nil {
+				t.Fatal(err)
+			}
+			drainOne(PushReasonTrain)
+		}
+		mutations++
+	}
+
+	// Group birth: "north" has never been seen; the carried folds must
+	// discover its code mid-stream, backfill exactly, and the pushed rows
+	// must replay — including the new group's improved estimate, inferred
+	// through a memo slot that did not exist a batch ago.
+	if _, err := sys.Append(regionSalesBatch(t, 1200, 9001, []string{"north", "east", "west"})); err != nil {
+		t.Fatal(err)
+	}
+	mutations++
+	drainOne(PushReasonAppend)
+
+	st := sys.StatsSnapshot()
+	if st.NotifyBatches != mutations {
+		t.Fatalf("NotifyBatches=%d, want %d (one per mutation)", st.NotifyBatches, mutations)
+	}
+	if want := len(groupedStandingQueries) * (mutations + 1); st.NotifyScans != want {
+		t.Fatalf("NotifyScans=%d, want %d (one shared scan per plan per batch)", st.NotifyScans, want)
+	}
+	for _, sub := range subs {
+		sub.Close()
+	}
+	if n := sys.ActiveSubscriptions(); n != 0 {
+		t.Fatalf("ActiveSubscriptions=%d after teardown", n)
+	}
+	if n := sys.Engine().PinnedGens(); n != 0 {
+		t.Fatalf("PinnedGens=%d after teardown: standing plans leaked pins", n)
+	}
+}
+
+// TestGroupedSubscribeStructureAlwaysPushes pins the per-(group, cell)
+// gating contract: with thresholds far too large for any estimate drift to
+// clear, a plain append is suppressed — but a group birth and a truncation
+// flip are structure changes and must push regardless.
+func TestGroupedSubscribeStructureAlwaysPushes(t *testing.T) {
+	// Nmax 2 so a third discovered group flips Result.GroupsTruncated.
+	schema := storage.MustSchema([]storage.ColumnDef{
+		{Name: "week", Kind: storage.Numeric, Role: storage.Dimension},
+		{Name: "region", Kind: storage.Categorical, Role: storage.Dimension},
+		{Name: "revenue", Kind: storage.Numeric, Role: storage.Measure},
+	})
+	tb := storage.NewTable("sales", schema)
+	rng := randx.New(42)
+	for i := 0; i < 8000; i++ {
+		w := rng.Uniform(0, 52)
+		rg := []string{"east", "west"}[rng.Intn(2)]
+		if err := tb.AppendRow([]storage.Value{
+			storage.Num(w), storage.Str(rg), storage.Num(50 + 2*w + rng.Normal(0, 3)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sample, err := aqp.BuildSample(tb, 0.25, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(aqp.NewEngine(tb, sample, aqp.CachedCost), Config{Nmax: 2})
+
+	sql := "SELECT region, AVG(revenue) FROM sales GROUP BY region"
+	sub, err := sys.Subscribe(sql, SubscribeOptions{DeltaRel: 1e6, DeltaCI: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	first, ok := sub.TryNext()
+	if !ok || first.Result.GroupsTruncated {
+		t.Fatalf("initial push ok=%v truncated=%v, want live untruncated", ok, first.Result.GroupsTruncated)
+	}
+
+	// Same row set, tiny drift: thresholds suppress.
+	if _, err := sys.Append(salesBatch(t, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if upd, leaked := sub.TryNext(); leaked {
+		t.Fatalf("threshold-suppressed append leaked a push: %+v", upd)
+	}
+
+	// Group birth within the cap ("north" makes 3 discovered groups but the
+	// cap keeps 2 and flips the truncation flag): structure change, pushes.
+	if _, err := sys.Append(regionSalesBatch(t, 500, 2, []string{"north"})); err != nil {
+		t.Fatal(err)
+	}
+	upd, ok := sub.TryNext()
+	if !ok {
+		t.Fatal("structure change (truncation flip) did not push")
+	}
+	if !upd.Result.GroupsTruncated {
+		t.Fatal("push after third region should report GroupsTruncated")
+	}
+	if len(upd.Result.Rows) != 2 {
+		t.Fatalf("capped push has %d rows, want 2", len(upd.Result.Rows))
+	}
+	replayPush(t, sys, sql, upd.Result)
+
+	// Same truncated row set again: suppressed again.
+	if _, err := sys.Append(salesBatch(t, 200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if upd, leaked := sub.TryNext(); leaked {
+		t.Fatalf("threshold-suppressed append after flip leaked a push: %+v", upd)
+	}
+}
+
+// TestSubscribeAfterCloseSubscriptions is the regression for the dead-hub
+// bug: CloseSubscriptions used to leave the closed hub in place, so a later
+// Subscribe handed back a subscription that was born closed and never
+// received a push. The standing state must fully reset instead.
+func TestSubscribeAfterCloseSubscriptions(t *testing.T) {
+	sys := systemFixture(t, 8000, 0.25)
+	sql := standingQueries[0]
+	sub, err := sys.Subscribe(sql, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sub.TryNext(); !ok {
+		t.Fatal("first subscription got no initial push")
+	}
+	sys.CloseSubscriptions("drain")
+	if n := sys.Engine().PinnedGens(); n != 0 {
+		t.Fatalf("PinnedGens=%d after CloseSubscriptions", n)
+	}
+	if n := sys.ActiveSubscriptions(); n != 0 {
+		t.Fatalf("ActiveSubscriptions=%d after CloseSubscriptions", n)
+	}
+
+	sub2, err := sys.Subscribe(sql, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason := sub2.CloseReason(); reason != "" {
+		t.Fatalf("re-subscription born closed: CloseReason=%q", reason)
+	}
+	upd, ok := sub2.TryNext()
+	if !ok {
+		t.Fatal("re-subscription after CloseSubscriptions got no initial push (dead hub)")
+	}
+	if upd.Seq != 0 || upd.Reason != PushReasonSubscribe {
+		t.Fatalf("re-subscription initial push seq=%d reason=%q", upd.Seq, upd.Reason)
+	}
+	replayPush(t, sys, sql, upd.Result)
+	if _, err := sys.Append(salesBatch(t, 300, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sub2.TryNext(); !ok {
+		t.Fatal("re-subscription received no append push")
+	}
+	sub2.Close()
+	if n := sys.Engine().PinnedGens(); n != 0 {
+		t.Fatalf("PinnedGens=%d after final teardown", n)
+	}
+}

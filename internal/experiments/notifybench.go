@@ -81,6 +81,57 @@ func NotifyBench(o Options) (*Report, error) {
 		rep.Metric(fmt.Sprintf("subs=%d/batchns", k), float64(mean.Nanoseconds()))
 		rep.Metric(fmt.Sprintf("subs=%d/pushes", k), float64(st.NotifyPushes))
 	}
-	rep.Note("one shared incremental scan per batch regardless of K; %d-row appends into a %d-row relation", 1000, rows)
+	// The grouped fan-out: K subscribers on one GROUP BY plan over G groups.
+	// The shared scan is the grouped discovery fold (per-group master
+	// accumulators carried across appends), so the batch cost tracks G in
+	// the push/compose step but stays flat in K like the flat case.
+	const nGroups = 16
+	const gsql = "SELECT cat, AVG(val), COUNT(*) FROM t GROUP BY cat"
+	for _, k := range []int{1, 8, 64} {
+		tb, err := groupedBenchTable(rows, nGroups, false, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sample, err := aqp.BuildSample(tb, 0.5, 0, o.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		sys := core.NewSystem(aqp.NewEngine(tb, sample, aqp.CachedCost), core.Config{})
+		var total time.Duration
+		var batches int
+		sys.SetNotifyHook(func(_ string, d time.Duration) {
+			total += d
+			batches++
+		})
+		subs := make([]*core.Subscription, k)
+		for i := range subs {
+			if subs[i], err = sys.Subscribe(gsql, core.SubscribeOptions{Queue: appends + 2}); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < appends; i++ {
+			batch, err := groupedBenchTable(1000, nGroups, false, o.Seed+int64(500+i))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sys.Append(batch); err != nil {
+				return nil, err
+			}
+		}
+		for _, sub := range subs {
+			sub.Close()
+		}
+		if batches != appends {
+			return nil, fmt.Errorf("notifybench: grouped %d batches for %d appends", batches, appends)
+		}
+		st := sys.StatsSnapshot()
+		mean := total / time.Duration(batches)
+		rep.Add(fmt.Sprintf("%d (grouped ×%d)", k, nGroups), fmt.Sprintf("%d", appends),
+			mean.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", st.NotifyScans), fmt.Sprintf("%d", st.NotifyPushes))
+		rep.Metric(fmt.Sprintf("grouped-subs=%d/batchns", k), float64(mean.Nanoseconds()))
+		rep.Metric(fmt.Sprintf("grouped-subs=%d/pushes", k), float64(st.NotifyPushes))
+	}
+	rep.Note("one shared incremental scan per batch regardless of K; %d-row appends into a %d-row relation; grouped cases stand one %d-group GROUP BY plan", 1000, rows, nGroups)
 	return rep, nil
 }

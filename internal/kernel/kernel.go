@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/mathx"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -88,46 +87,7 @@ func (p Params) Validate() error {
 // Eq. 16's categorical factors. Both snippets must be bound to the same
 // base relation.
 func Covariance(a, b *query.Snippet, p Params) float64 {
-	t := a.Table
-	cov := p.Sigma2
-	for _, col := range t.Schema().DimensionCols() {
-		def := t.Schema().Col(col)
-		if def.Kind == storage.Numeric {
-			ra := a.Region.NumRangeOf(col, t)
-			rb := b.Region.NumRangeOf(col, t)
-			ell, ok := p.Ells[col]
-			if !ok || ell <= 0 {
-				lo, hi := t.Domain(col)
-				ell = math.Max(hi-lo, 1)
-			}
-			if a.Kind == query.AvgAgg {
-				cov *= mathx.SqExpMeanIntegral(ra.Lo, ra.Hi, rb.Lo, rb.Hi, ell)
-			} else {
-				cov *= mathx.SqExpDoubleIntegral(ra.Lo, ra.Hi, rb.Lo, rb.Hi, ell)
-			}
-		} else {
-			dict := t.DictOf(col).Size()
-			if dict == 0 {
-				continue
-			}
-			sa := a.Region.CatSetOf(col)
-			sb := b.Region.CatSetOf(col)
-			overlap := float64(sa.OverlapCount(sb, dict))
-			if a.Kind == query.AvgAgg {
-				na, nb := float64(sa.Size(dict)), float64(sb.Size(dict))
-				if na == 0 || nb == 0 {
-					return 0
-				}
-				cov *= overlap / (na * nb)
-			} else {
-				cov *= overlap
-			}
-		}
-		if cov == 0 {
-			return 0
-		}
-	}
-	return cov
+	return CovarianceMemo(a, b, p, nil)
 }
 
 // Variance is Covariance(s, s, p): the prior variance κ̄² of one snippet's

@@ -279,3 +279,65 @@ func TestVarianceLargerForWiderFreqRegions(t *testing.T) {
 		t.Fatal("FREQ variance must grow with region size")
 	}
 }
+
+// TestStandingCovarianceMemoBitIdentical is the memo correctness property:
+// CovarianceMemo with a carried PairMemo must return the exact bits of the
+// uncached Covariance under any interleaving of repeated calls, length-scale
+// changes, sigma changes, and region changes. The signature check on the
+// five factor inputs is the entire invalidation story, so the test hammers
+// the transitions where stale reuse would show: same inputs twice (hit),
+// perturbed ell (miss), restored ell (hit again), new snippet pair through
+// the same memo (miss).
+func TestStandingCovarianceMemoBitIdentical(t *testing.T) {
+	tb := testTable(t)
+	f := func(seed int64) bool {
+		r := randx.New(seed)
+		mk := func(kind query.AggKind) *query.Snippet {
+			lo := r.Uniform(0, 80)
+			hi := lo + r.Uniform(1, 20)
+			var regs []string
+			if r.Bool(0.5) {
+				for _, x := range []string{"a", "b", "c", "d"} {
+					if r.Bool(0.5) {
+						regs = append(regs, x)
+					}
+				}
+				if regs == nil {
+					regs = []string{"a"}
+				}
+			}
+			return snip(t, tb, kind, lo, hi, regs)
+		}
+		kind := query.AvgAgg
+		if r.Bool(0.5) {
+			kind = query.FreqAgg
+		}
+		a, b := mk(kind), mk(kind)
+		var m PairMemo
+		ells := []float64{20, 20, 7, 20, 1e9} // repeat → hit, change → miss, restore → hit
+		for _, ell := range ells {
+			p := params(tb, ell)
+			if r.Bool(0.3) {
+				p.Sigma2 = 1 + r.Uniform(0, 5)
+			}
+			got := CovarianceMemo(a, b, p, &m)
+			want := Covariance(a, b, p)
+			if got != want {
+				t.Logf("seed %d ell %v: memo %v fresh %v", seed, ell, got, want)
+				return false
+			}
+		}
+		// A different pair through the same memo: every factor signature
+		// changes, so the cache must miss rather than leak the old values.
+		a2, b2 := mk(kind), mk(kind)
+		p := params(tb, 20)
+		if got, want := CovarianceMemo(a2, b2, p, &m), Covariance(a2, b2, p); got != want {
+			t.Logf("seed %d reused memo: %v fresh %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/obs"
+	"repro/internal/sqlparse"
 	"repro/internal/storage"
 )
 
@@ -423,8 +425,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return
 	}
-	sess := s.sessions.get(req.Session, time.Now())
-	sess.touch(time.Now())
+	sess := s.sessions.get(req.Session, s.now())
+	sess.touch(s.now())
 	sess.queries.Add(1)
 	noteSession(r, sess.ID)
 
@@ -522,8 +524,8 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
-	sess := s.sessions.get(req.Session, time.Now())
-	sess.touch(time.Now())
+	sess := s.sessions.get(req.Session, s.now())
+	sess.touch(s.now())
 	noteSession(r, sess.ID)
 
 	var (
@@ -901,10 +903,13 @@ const (
 
 // errJSON is the error envelope every non-410 error response carries:
 // {code, error, request_id}. The "error" key predates the envelope and is
-// what existing clients parse, so it stays.
+// what existing clients parse, so it stays. Detail carries a multi-line
+// rendering when one exists — for SQL syntax errors, the source line with
+// a caret under the offending position (sqlparse.ParseError.Verbose).
 type errJSON struct {
 	Code      string `json:"code"`
 	Error     string `json:"error"`
+	Detail    string `json:"detail,omitempty"`
 	RequestID string `json:"request_id,omitempty"`
 }
 
@@ -931,5 +936,12 @@ func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
 }
 
 func writeErrCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
-	writeJSON(w, status, errJSON{Code: code, Error: err.Error(), RequestID: requestID(r)})
+	env := errJSON{Code: code, Error: err.Error(), RequestID: requestID(r)}
+	var pe *sqlparse.ParseError
+	if errors.As(err, &pe) {
+		if v := pe.Verbose(); v != env.Error {
+			env.Detail = v
+		}
+	}
+	writeJSON(w, status, env)
 }

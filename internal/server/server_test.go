@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -497,4 +498,54 @@ func TestServerAutoRebuildDuringQuietPeriod(t *testing.T) {
 	// Close is idempotent and stops the loop.
 	srv.Close()
 	srv.Close()
+}
+
+// TestServerParseErrorDetail pins the error envelope for SQL syntax errors:
+// the 400 body's "error" carries the one-line line/column message and
+// "detail" the multi-line caret rendering of the offending source line, so
+// clients can print exactly where the statement broke.
+func TestServerParseErrorDetail(t *testing.T) {
+	_, _, ts := fixture(t, 2000, Config{})
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT AVG(revenue)\nFROM sales\nWHERE week !"})
+	r, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", r.StatusCode)
+	}
+	var env struct {
+		Code   string `json:"code"`
+		Error  string `json:"error"`
+		Detail string `json:"detail"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Code != "bad_request" {
+		t.Fatalf("code %q, want bad_request", env.Code)
+	}
+	if !strings.Contains(env.Error, "line 3") {
+		t.Fatalf("error %q does not locate the failure on line 3", env.Error)
+	}
+	if !strings.Contains(env.Detail, "WHERE week !") || !strings.Contains(env.Detail, "^") {
+		t.Fatalf("detail %q missing source line or caret", env.Detail)
+	}
+	// Non-parse 400s carry no detail: the envelope stays one line.
+	body, _ = json.Marshal(QueryRequest{SQL: ""})
+	r2, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var env2 struct {
+		Detail string `json:"detail"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&env2); err != nil {
+		t.Fatal(err)
+	}
+	if env2.Detail != "" {
+		t.Fatalf("missing-sql 400 carries detail %q, want empty", env2.Detail)
+	}
 }

@@ -208,8 +208,8 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
 		return
 	}
-	sess := s.sessions.get(req.Session, time.Now())
-	sess.touch(time.Now())
+	sess := s.sessions.get(req.Session, s.now())
+	sess.touch(s.now())
 	sess.queries.Add(1)
 	noteSession(r, sess.ID)
 	s.streams.Add(1)

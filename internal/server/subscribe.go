@@ -93,8 +93,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	s.handlers.Add(1)
 	defer s.handlers.Done()
 
-	sess := s.sessions.get(req.Session, time.Now())
-	sess.touch(time.Now())
+	sess := s.sessions.get(req.Session, s.now())
+	sess.touch(s.now())
 	sess.queries.Add(1)
 	noteSession(r, sess.ID)
 

@@ -332,8 +332,10 @@ func TestServerSubscribeDrain(t *testing.T) {
 }
 
 // TestServerSubscribeValidation pins the request contract: malformed
-// bodies and unsupportable standing statements 400, and the subscription
-// cap sheds with 503 without disturbing the stream already open.
+// bodies and unsupportable standing statements 400 (GROUP BY statements
+// stand since the grouped fold landed — see TestServerSubscribeStormGrouped),
+// and the subscription cap sheds with 503 without disturbing the stream
+// already open.
 func TestServerSubscribeValidation(t *testing.T) {
 	srv, _, ts := fixture(t, 5000, Config{MaxSubscriptions: 1})
 	defer srv.Close()
@@ -343,7 +345,6 @@ func TestServerSubscribeValidation(t *testing.T) {
 		{SQL: "SELECT AVG(revenue) FROM sales", DeltaRel: -0.5},
 		{SQL: "SELECT AVG(revenue) FROM sales", Queue: -2},
 		{SQL: "SELECT AVG(revenue) FROM sales", DebounceMS: -5},
-		{SQL: "SELECT region, AVG(revenue) FROM sales GROUP BY region"},
 		{SQL: "not sql at all"},
 	} {
 		if code := post(t, ts.URL+"/subscribe", req, nil); code != http.StatusBadRequest {
@@ -360,5 +361,137 @@ func TestServerSubscribeValidation(t *testing.T) {
 	}
 	if srv.subscribers.Load() != 1 {
 		t.Fatalf("subscriber gauge %d after shed, want 1", srv.subscribers.Load())
+	}
+}
+
+// TestServerSubscribeStormGrouped is the grouped acceptance storm: the same
+// concurrent shape as TestServerSubscribeStorm but the standing query GROUPs
+// BY region, so every pushed chunk carries multiple group rows produced by
+// the carried grouped fold. The invariants carry over unchanged: one shared
+// incremental scan per notify batch regardless of subscriber count
+// (NotifyScans == NotifyBatches + the plan's creation fold), every chunk a
+// zero-threshold reader kept replays bit-identically, and teardown releases
+// every pin and gauge.
+func TestServerSubscribeStormGrouped(t *testing.T) {
+	srv, sys, ts := fixture(t, 20000, Config{MaxInFlight: 32})
+	defer srv.Close()
+	sql := "SELECT region, AVG(revenue), COUNT(*) FROM sales GROUP BY region"
+
+	const subscribers = 8
+	streams := make([]*subStream, subscribers)
+	for i := range streams {
+		req := SubscribeRequest{SQL: sql, Session: fmt.Sprintf("gsub-%d", i)}
+		switch i % 3 {
+		case 1:
+			req.DeltaRel = 1e-9
+		case 2:
+			req.DeltaCI = 1e12
+		}
+		streams[i] = openSubscribe(t, ts.URL, req)
+		c, ok := streams[i].next(t)
+		if !ok || c.PushReason != core.PushReasonSubscribe || c.Seq != 0 {
+			t.Fatalf("subscriber %d initial chunk: ok=%v %+v", i, ok, c)
+		}
+		if len(c.Rows) != 2 {
+			t.Fatalf("subscriber %d initial chunk has %d group rows, want 2", i, len(c.Rows))
+		}
+	}
+
+	const persistent = 5
+	collected := make([][]StreamChunk, persistent)
+	var readers sync.WaitGroup
+	for i := 0; i < persistent; i++ {
+		readers.Add(1)
+		go func(i int) {
+			defer readers.Done()
+			last := 0
+			for {
+				c, ok := streams[i].next(t)
+				if !ok {
+					return
+				}
+				if c.Seq <= last {
+					t.Errorf("reader %d: seq %d after %d", i, c.Seq, last)
+					return
+				}
+				last = c.Seq
+				collected[i] = append(collected[i], c)
+			}
+		}(i)
+	}
+
+	const appendsPerWorker, workers = 8, 2
+	var storm sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		storm.Add(1)
+		go func(w int) {
+			defer storm.Done()
+			for i := 0; i < appendsPerWorker; i++ {
+				var ar AppendResponse
+				if code := post(t, ts.URL+"/append", AppendRequest{Generate: 300, Seed: int64(11000 + w*100 + i)}, &ar); code != 200 {
+					t.Errorf("append status %d", code)
+					return
+				}
+				if w == 0 && i == 3 {
+					if code := post(t, ts.URL+"/rebuild", struct{}{}, nil); code != 200 {
+						t.Errorf("rebuild status %d", code)
+						return
+					}
+				}
+				if w == 1 && i == 4 {
+					for d := persistent; d < subscribers; d++ {
+						streams[d].body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	storm.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Shared-scan economics hold for the grouped fold too: 8 subscribers on
+	// one GROUP BY plan cost one incremental grouped scan per mutation.
+	st := sys.StatsSnapshot()
+	wantBatches := workers*appendsPerWorker + 1
+	if st.NotifyBatches != wantBatches {
+		t.Fatalf("NotifyBatches=%d, want %d", st.NotifyBatches, wantBatches)
+	}
+	if st.NotifyScans != st.NotifyBatches+1 {
+		t.Fatalf("NotifyScans=%d with %d batches: grouped scans must be shared, one per batch plus the creation fold",
+			st.NotifyScans, st.NotifyBatches)
+	}
+
+	for i := 0; i < persistent; i++ {
+		streams[i].body.Close()
+	}
+	readers.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if sys.ActiveSubscriptions() == 0 && srv.InFlight() == 0 && srv.subscribers.Load() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := sys.ActiveSubscriptions(); n != 0 {
+		t.Fatalf("ActiveSubscriptions=%d after all clients left", n)
+	}
+	if n := sys.Engine().PinnedGens(); n != 0 {
+		t.Fatalf("PinnedGens=%d after teardown: grouped subscriptions leaked generation pins", n)
+	}
+
+	audited := 0
+	for i := 0; i < persistent; i += 3 { // readers 0 and 3: zero thresholds
+		for _, c := range collected[i] {
+			if len(c.Rows) != 2 {
+				t.Fatalf("reader %d seq %d: %d group rows, want 2", i, c.Seq, len(c.Rows))
+			}
+			replayChunkRaw(t, sys, sql, c)
+			audited++
+		}
+	}
+	if audited == 0 {
+		t.Fatal("grouped storm produced no auditable chunks")
 	}
 }

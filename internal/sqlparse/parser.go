@@ -3,16 +3,78 @@ package sqlparse
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
-// ParseError reports a syntactic failure.
+// ParseError reports a syntactic failure with its source position. Pos is
+// the raw byte offset the parser tracks; Parse annotates errors with the
+// 1-based Line/Column and the source text so messages point at the
+// offending character instead of a bare offset.
 type ParseError struct {
-	Pos int
-	Msg string
+	Pos    int
+	Msg    string
+	Line   int    // 1-based source line; 0 when unannotated
+	Column int    // 1-based column within Line (byte-counted)
+	Source string // the SQL being parsed; "" when unannotated
 }
 
 func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sql parse error at line %d, column %d: %s", e.Line, e.Column, e.Msg)
+	}
 	return fmt.Sprintf("sql parse error at %d: %s", e.Pos, e.Msg)
+}
+
+// Verbose renders the error with its source line and a caret under the
+// offending position — the serving layer's 400 envelope carries it as the
+// error detail. Falls back to Error() when the error is unannotated.
+func (e *ParseError) Verbose() string {
+	var sb strings.Builder
+	sb.WriteString(e.Error())
+	if e.Source == "" || e.Line <= 0 {
+		return sb.String()
+	}
+	lines := strings.Split(e.Source, "\n")
+	if e.Line > len(lines) {
+		return sb.String()
+	}
+	line := lines[e.Line-1]
+	sb.WriteByte('\n')
+	sb.WriteString("  ")
+	sb.WriteString(line)
+	sb.WriteByte('\n')
+	sb.WriteString("  ")
+	// Walk the line up to the error column, preserving tabs so the caret
+	// stays aligned under tab-indented sources.
+	for i := 1; i < e.Column; i++ {
+		if i-1 < len(line) && line[i-1] == '\t' {
+			sb.WriteByte('\t')
+		} else {
+			sb.WriteByte(' ')
+		}
+	}
+	sb.WriteByte('^')
+	return sb.String()
+}
+
+// annotate fills Line/Column/Source from the byte offset. An offset past
+// the input (EOF errors) points one column past the last character.
+func (e *ParseError) annotate(input string) *ParseError {
+	pos := e.Pos
+	if pos > len(input) {
+		pos = len(input)
+	}
+	line, col := 1, 1
+	for i := 0; i < pos; i++ {
+		if input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	e.Line, e.Column, e.Source = line, col, input
+	return e
 }
 
 type parser struct {
@@ -20,21 +82,31 @@ type parser struct {
 	pos  int
 }
 
-// Parse lexes and parses one SELECT statement.
+// Parse lexes and parses one SELECT statement. Syntax errors come back as
+// a *ParseError annotated with line, column and source context (lexical
+// failures are folded into the same type, so callers see one shape).
 func Parse(input string) (*SelectStmt, error) {
 	toks, err := Lex(input)
 	if err != nil {
+		if le, ok := err.(*LexError); ok {
+			return nil, (&ParseError{Pos: le.Pos, Msg: le.Msg}).annotate(input)
+		}
 		return nil, err
 	}
 	p := &parser{toks: toks}
 	stmt, err := p.parseSelect()
-	if err != nil {
-		return nil, err
+	if err == nil {
+		// Allow a trailing semicolon.
+		p.accept(TokSymbol, ";")
+		if p.cur().Kind != TokEOF {
+			err = p.errorf("trailing input %q", p.cur().Text)
+		}
 	}
-	// Allow a trailing semicolon.
-	p.accept(TokSymbol, ";")
-	if p.cur().Kind != TokEOF {
-		return nil, p.errorf("trailing input %q", p.cur().Text)
+	if err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			return nil, pe.annotate(input)
+		}
+		return nil, err
 	}
 	return stmt, nil
 }

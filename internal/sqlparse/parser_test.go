@@ -250,3 +250,98 @@ func TestParseIsNull(t *testing.T) {
 		t.Fatal("nil where")
 	}
 }
+
+// TestParseErrorPosition pins the annotated error format: every syntax
+// error carries a 1-based line/column pointing at the offending token, the
+// one-line Error() renders them, and Verbose() adds the source line with a
+// caret aligned under the failure — tabs preserved so the caret stays
+// aligned in tab-indented statements.
+func TestParseErrorPosition(t *testing.T) {
+	cases := []struct {
+		name, sql    string
+		line, column int
+		errContains  string
+		verboseLine  string // the quoted source line Verbose must show
+		caretLine    string // the caret line, exactly
+	}{
+		{
+			name: "trailing input", sql: "SELECT a FROM t x y",
+			line: 1, column: 19, errContains: `trailing input "y"`,
+			verboseLine: "  SELECT a FROM t x y",
+			caretLine:   "                    ^",
+		},
+		{
+			name: "multi-line", sql: "SELECT AVG(revenue)\nFROM sales\nWHERE week !",
+			line: 3, column: 12, errContains: "unexpected '!'",
+			verboseLine: "  WHERE week !",
+			caretLine:   "             ^",
+		},
+		{
+			name: "tab indent", sql: "SELECT a\n\tFROM t\n\tWHERE a >",
+			line: 3, column: 11, errContains: "",
+			verboseLine: "  \tWHERE a >",
+			caretLine:   "  \t         ^",
+		},
+		{
+			name: "unterminated string", sql: "SELECT a FROM t WHERE b = 'oops",
+			line: 1, column: 27, errContains: "unterminated string",
+			verboseLine: "  SELECT a FROM t WHERE b = 'oops",
+			caretLine:   "                            ^",
+		},
+		{
+			name: "eof", sql: "SELECT a FROM",
+			line: 1, column: 14, errContains: "",
+			verboseLine: "  SELECT a FROM",
+			caretLine:   "               ^",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.sql)
+			if err == nil {
+				t.Fatalf("Parse(%q) should fail", tc.sql)
+			}
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("error type %T, want *ParseError", err)
+			}
+			if pe.Line != tc.line || pe.Column != tc.column {
+				t.Fatalf("position line %d column %d, want %d/%d (msg %q)",
+					pe.Line, pe.Column, tc.line, tc.column, pe.Msg)
+			}
+			wantPrefix := "sql parse error at line "
+			if !strings.HasPrefix(pe.Error(), wantPrefix) {
+				t.Fatalf("Error() %q lacks prefix %q", pe.Error(), wantPrefix)
+			}
+			if tc.errContains != "" && !strings.Contains(pe.Error(), tc.errContains) {
+				t.Fatalf("Error() %q does not contain %q", pe.Error(), tc.errContains)
+			}
+			lines := strings.Split(pe.Verbose(), "\n")
+			if len(lines) != 3 {
+				t.Fatalf("Verbose() %q: %d lines, want 3", pe.Verbose(), len(lines))
+			}
+			if lines[0] != pe.Error() {
+				t.Fatalf("Verbose first line %q != Error() %q", lines[0], pe.Error())
+			}
+			if lines[1] != tc.verboseLine {
+				t.Fatalf("Verbose source line %q, want %q", lines[1], tc.verboseLine)
+			}
+			if lines[2] != tc.caretLine {
+				t.Fatalf("Verbose caret line %q, want %q", lines[2], tc.caretLine)
+			}
+		})
+	}
+}
+
+// TestParseErrorUnannotatedFallback: a ParseError constructed without
+// annotation (no line) renders the legacy byte-offset form and Verbose
+// degrades to the one-liner rather than panicking on missing source.
+func TestParseErrorUnannotatedFallback(t *testing.T) {
+	pe := &ParseError{Pos: 7, Msg: "boom"}
+	if got, want := pe.Error(), "sql parse error at 7: boom"; got != want {
+		t.Fatalf("Error() %q, want %q", got, want)
+	}
+	if pe.Verbose() != pe.Error() {
+		t.Fatalf("unannotated Verbose() %q, want Error()", pe.Verbose())
+	}
+}
