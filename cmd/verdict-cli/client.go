@@ -354,6 +354,17 @@ func printServerStats(st server.StatsResponse) {
 		fmt.Printf("metrics: %d requests, latency p50=%.2fms p95=%.2fms p99=%.2fms, %d shed (full catalog: GET /metrics)\n",
 			m.TotalRequests, m.RequestP50MS, m.RequestP95MS, m.RequestP99MS, m.Shed)
 	}
+	if st.Sample.NumPartitions > 0 {
+		col := st.Sample.StratumColumn
+		if col == "" {
+			col = "(round-robin)"
+		}
+		fmt.Printf("sample layout: %d partitions, stratum column %s\n", st.Sample.NumPartitions, col)
+		for _, p := range st.Sample.Partitions {
+			fmt.Printf("  partition %d: %d rows, %d strata, gen %d, zone selectivity %.3f\n",
+				p.Partition, p.Rows, p.Strata, p.Generation, p.ZoneSelectivity)
+		}
+	}
 	for _, s := range st.Sessions {
 		fmt.Printf("  session %-12s queries=%-5d appends=%d\n", s.ID, s.Queries, s.Appends)
 	}

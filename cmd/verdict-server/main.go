@@ -23,7 +23,9 @@
 //	                   each chunk replays bit-identically at its pinned sample_gen)
 //	POST /append       {"rows": [[12.5, "east", 99.0], ...]} or {"generate": 5000}
 //	POST /train        {}
-//	POST /rebuild      {}                         (re-shuffle the sample; epoch swap)
+//	POST /rebuild      {}                         (re-shuffle the sample; epoch swap; optional
+//	                   {"partitions": 4, "stratum_column": "week"} re-lays-out into stratified
+//	                   partitions — invalid columns get a structured 400, code "invalid_column")
 //	GET  /stats                                   (incl. per-shard synopsis + metrics_summary digest)
 //	GET  /metrics                                 (Prometheus text format: stage latencies, HTTP, streams, synopsis)
 //	POST /save         {"path": "synopsis.json"}  (file name inside -snapshot-dir)
@@ -77,6 +79,8 @@ func main() {
 		maxSubs   = flag.Int("max-subscriptions", 0, "cap on concurrent /subscribe streams (0 = default 256); excess subscribers are shed with 503")
 		drainWait = flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, how long to let in-flight queries and streams finish before closing")
 		maxGens   = flag.Int("max-retained-gens", 0, "retired sample generations kept for replay/resume (0 keeps all; bounded servers answer behind-horizon cursors with 410)")
+		parts     = flag.Int("partitions", 0, "split the sample into this many stratified partitions (0 = flat sample); answers are invariant under the count")
+		stratCol  = flag.String("stratum-column", "", "numeric column the stratified layout range-partitions on (requires -partitions; empty = round-robin strata)")
 		logFormat = flag.String("log-format", "text", "request log format: text | json")
 		logLevel  = flag.String("log-level", "info", "request log level: debug | info | warn | error")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; keep it off public interfaces)")
@@ -103,10 +107,31 @@ func main() {
 	// One registry spans every layer: the core pipeline reports per-stage
 	// latency through the StageTimer, the server adds HTTP/stream/synopsis
 	// families, and GET /metrics scrapes them all.
+	// Validate the partitioned-layout flags before wiring: core's config
+	// application is fail-soft (library callers fall back to the flat
+	// layout), but an operator's typo should fail the boot loudly.
+	if *stratCol != "" && *parts <= 0 {
+		fmt.Fprintln(os.Stderr, "-stratum-column requires -partitions >= 1")
+		os.Exit(1)
+	}
+	if *parts > 0 && *stratCol != "" {
+		col, ok := table.Schema().Lookup(*stratCol)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-stratum-column: table %s has no column %q\n", table.Name(), *stratCol)
+			os.Exit(1)
+		}
+		if table.Schema().Col(col).Kind != storage.Numeric {
+			fmt.Fprintf(os.Stderr, "-stratum-column: %q is categorical; the stratified layout needs a numeric column\n", *stratCol)
+			os.Exit(1)
+		}
+	}
+
 	reg := obs.NewRegistry()
 	sys := core.NewSystem(aqp.NewEngine(table, sample, aqp.CachedCost), core.Config{
 		NumShards:       *shards,
 		MaxRetainedGens: *maxGens,
+		NumPartitions:   *parts,
+		StratumColumn:   *stratCol,
 		Stages:          obs.NewQueryStages(reg),
 	})
 
@@ -139,6 +164,10 @@ func main() {
 	}
 	if *maxGens > 0 {
 		logger.Info("replay horizon bounded", slog.Int("max_retained_gens", *maxGens))
+	}
+	if *parts > 0 {
+		logger.Info("stratified sample layout",
+			slog.Int("partitions", *parts), slog.String("stratum_column", *stratCol))
 	}
 
 	if *pprofAddr != "" {

@@ -49,9 +49,13 @@ type Engine struct {
 	wmu         sync.Mutex
 	view        atomic.Pointer[View]
 	viewEpoch   atomic.Uint64
-	retired     []*storage.Table
+	retired     []*Sample
 	retiredBase uint64
 	maxRetained int
+
+	// layout is the default RebuildSample layout (SetSampleLayout), applied
+	// by serving-layer rebuilds that do not override it per call.
+	layout RebuildOptions
 
 	// pmu guards pins and orders pinning against eviction without the
 	// writer lock: AcquirePinned's fast path pins the published view's
@@ -108,7 +112,7 @@ func (e *GenEvictedError) Is(target error) bool { return target == ErrGenEvicted
 // engine scans with the vectorized block pipeline by default; see
 // SetScanMode.
 func NewEngine(base *storage.Table, sample *Sample, cost CostModel) *Engine {
-	e := &Engine{base: base, cost: cost, pins: make(map[uint64]int)}
+	e := &Engine{base: base, cost: cost, pins: make(map[uint64]int), layout: DefaultRebuildOptions()}
 	e.sample.Store(sample)
 	e.retention.Store(&retentionStat{horizon: sample.Gen})
 	return e

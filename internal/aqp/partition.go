@@ -1,0 +1,111 @@
+package aqp
+
+import "repro/internal/storage"
+
+// Scatter-gather over a partitioned sample. A global sample row range maps
+// onto per-stratum row ranges through the interleave index; every execution
+// path (one-shot, grouped, progressive, standing) walks the resulting spans
+// in fixed stratum order — strata first, the unpartitioned tail last — and
+// merges per-span moment state with the parallel-Welford operator. The scan
+// granule is the stratum, never the partition, so the floating-point merge
+// tree is a pure function of the layout and the scanned range: answers are
+// bit-identical for every partition count K (partition-count invariance,
+// the partitioned counterpart of the synopsis layer's shard-count
+// invariance) and for serial replays of the same prefix.
+
+// scanSpan is one contiguous per-table row range of a global scan range.
+type scanSpan struct {
+	tbl    *storage.Table
+	lo, hi int
+}
+
+// sampleSpans maps the global sample range [g0, g1) onto per-stratum spans
+// in stratum order, with the unpartitioned tail last. Empty spans are
+// omitted. For an unpartitioned sample the result is the single span
+// {Data, g0, g1}.
+func (v *View) sampleSpans(g0, g1 int) []scanSpan {
+	if g1 > v.SampleRows {
+		g1 = v.SampleRows
+	}
+	if g0 < 0 {
+		g0 = 0
+	}
+	if g1 <= g0 {
+		return nil
+	}
+	parts := v.Sample.Parts
+	if parts == nil {
+		return []scanSpan{{v.Sample.Data, g0, g1}}
+	}
+	sr := parts.Rows()
+	var spans []scanSpan
+	if g0 < sr {
+		b := g1
+		if b > sr {
+			b = sr
+		}
+		c0 := parts.PrefixCounts(g0, nil)
+		c1 := parts.PrefixCounts(b, nil)
+		for s := 0; s < parts.NumStrata(); s++ {
+			if c1[s] > c0[s] {
+				spans = append(spans, scanSpan{parts.Stratum(s), c0[s], c1[s]})
+			}
+		}
+	}
+	if g1 > sr {
+		lo := g0 - sr
+		if lo < 0 {
+			lo = 0
+		}
+		spans = append(spans, scanSpan{v.Sample.Data, lo, g1 - sr})
+	}
+	return spans
+}
+
+// scan feeds the global sample range [start, end) into the accumulators:
+// one direct sequential fold per span, in span order, using the view's scan
+// mode. This is the batch-family fold shape (RunToCompletion, standing
+// scans): spans extend the carried accumulators in place, exactly like the
+// single-table per-batch scan did, so the K=1 merge tree is the degenerate
+// one-span case of the same sequence.
+func (v *View) scan(accs []*accumulator, start, end int) {
+	for _, sp := range v.sampleSpans(start, end) {
+		v.scanTable(sp.tbl, accs, sp.lo, sp.hi)
+	}
+}
+
+// scanPrefix feeds the sample prefix [0, rows) into the accumulators with
+// the progressive-family fold shape: each span folds into a fresh
+// accumulator bank which then merges into accs, in span order — the exact
+// emission sequence ProgressiveScan uses, so EvalPrefix replays streamed
+// increments bit-for-bit. For an unpartitioned sample the single span folds
+// directly (matching the carried-accumulator emission of the K=1 stream).
+func (v *View) scanPrefix(accs []*accumulator, rows int) {
+	if v.Sample.Parts == nil {
+		v.scanTable(v.Sample.Data, accs, 0, rows)
+		return
+	}
+	for _, sp := range v.sampleSpans(0, rows) {
+		bank := freshAccs(accs)
+		v.scanTable(sp.tbl, bank, sp.lo, sp.hi)
+		mergeAccs(accs, bank)
+	}
+}
+
+// freshAccs returns zero-state accumulators for the same snippets.
+func freshAccs(accs []*accumulator) []*accumulator {
+	out := make([]*accumulator, len(accs))
+	for i, a := range accs {
+		out[i] = &accumulator{sn: a.sn, baseRows: a.baseRows}
+	}
+	return out
+}
+
+// mergeAccs folds src's moment state into dst without touching src — the
+// scatter-gather merge, applied in fixed span order.
+func mergeAccs(dst, src []*accumulator) {
+	for i := range dst {
+		dst[i].moments.Merge(src[i].moments)
+		dst[i].scanned += src[i].scanned
+	}
+}

@@ -89,6 +89,22 @@ type ProgressiveScan struct {
 	folded  int            // rows folded into accs (unit-aligned when vectorized)
 	emitted int            // last emitted prefix
 	seq     int
+
+	// banks is the partitioned-sample carry state: one accumulator bank per
+	// micro-stratum plus one for the unpartitioned tail (last). Each bank
+	// folds its own per-stratum prefix exactly like the single-table scan
+	// folds the global prefix; emission merges the banks into fresh
+	// accumulators in stratum order (the scatter-gather barrier). nil for an
+	// unpartitioned view, where accs carries the fold directly.
+	banks  []*stratumScan
+	counts []int // PrefixCounts scratch
+}
+
+// stratumScan is one stratum's carried fold within a progressive scan.
+type stratumScan struct {
+	tbl    *storage.Table
+	accs   []*accumulator
+	folded int // rows folded into accs (unit-aligned when vectorized)
 }
 
 // Progressive starts a resumable evaluation of the snippets against this
@@ -106,7 +122,68 @@ func (v *View) Progressive(snips []*query.Snippet) *ProgressiveScan {
 	if v.mode == ScanVectorized {
 		ps.gs = factorAccs(accs)
 	}
+	if parts := v.Sample.Parts; parts != nil {
+		ps.banks = make([]*stratumScan, parts.NumStrata()+1)
+		for s := 0; s < parts.NumStrata(); s++ {
+			ps.banks[s] = &stratumScan{tbl: parts.Stratum(s), accs: freshAccs(accs)}
+		}
+		ps.banks[parts.NumStrata()] = &stratumScan{tbl: v.Sample.Data, accs: freshAccs(accs)}
+	}
 	return ps
+}
+
+// bankTarget returns how many rows of bank bi fall inside the global prefix
+// [0, rows), refreshing the PrefixCounts scratch when bi is 0.
+func (p *ProgressiveScan) bankTarget(bi, rows int) int {
+	parts := p.view.Sample.Parts
+	if bi == len(p.banks)-1 {
+		t := rows - parts.Rows()
+		if t < 0 {
+			t = 0
+		}
+		return t
+	}
+	if bi == 0 {
+		g := rows
+		if g > parts.Rows() {
+			g = parts.Rows()
+		}
+		p.counts = parts.PrefixCounts(g, p.counts)
+	}
+	return p.counts[bi]
+}
+
+// stepBank advances one stratum's carried fold to its prefix [0, target)
+// and returns the accumulators reflecting exactly that prefix — the carried
+// bank when target is unit-aligned (or in row mode), else a private clone
+// with the partial tail unit folded in. The fold sequence per bank is
+// identical to the single-table progressive fold of the same prefix.
+func (p *ProgressiveScan) stepBank(b *stratumScan, target int) []*accumulator {
+	if p.view.mode == ScanRowAtATime {
+		if target > b.folded {
+			scanRows(b.tbl, b.accs, b.folded, target)
+			b.folded = target
+		}
+		return b.accs
+	}
+	fullUnits := target / unitRows
+	doneUnits := b.folded / unitRows
+	if fullUnits > doneUnits {
+		for _, part := range scanUnits(b.tbl, p.metas, p.gs, doneUnits, fullUnits, 0, target, p.workers) {
+			merge(b.accs, part)
+		}
+		b.folded = fullUnits * unitRows
+	}
+	if target <= b.folded {
+		return b.accs
+	}
+	var sc blockScanner
+	blo := b.folded / storage.BlockSize
+	bhi := (target-1)/storage.BlockSize + 1
+	tail := sc.scanUnit(b.tbl, p.metas, p.gs, blo, bhi, 0, target)
+	cur := cloneAccs(b.accs)
+	merge(cur, tail)
+	return cur
 }
 
 // ProgressiveFrom enters the increment loop mid-sample: it starts a
@@ -135,21 +212,41 @@ func (v *View) ProgressiveFrom(snips []*query.Snippet, rows, seq, workers int) *
 		rows = 0
 	}
 	if rows > 0 {
-		data := v.Sample.Data
-		if v.mode == ScanRowAtATime {
-			// Sequential fold: continuation from here is exactly what a
-			// continuous row-at-a-time scan carries at this prefix.
-			scanRows(data, ps.accs, 0, rows)
-			ps.folded = rows
-		} else if fullUnits := rows / unitRows; fullUnits > 0 {
-			// Fold only the complete units; the carried accumulators stay
-			// unit-aligned and the (at most one-unit) cursor tail is
-			// re-covered by the next Step, exactly as an uninterrupted
-			// scan's carry state would have it.
-			for _, part := range scanUnits(data, ps.metas, ps.gs, 0, fullUnits, 0, rows, ps.workers) {
-				merge(ps.accs, part)
+		if ps.banks != nil {
+			// Per-stratum entry folds: each bank folds its own cursor prefix
+			// exactly as the single-table fold below does the global one.
+			for bi, b := range ps.banks {
+				target := ps.bankTarget(bi, rows)
+				if target == 0 {
+					continue
+				}
+				if v.mode == ScanRowAtATime {
+					scanRows(b.tbl, b.accs, 0, target)
+					b.folded = target
+				} else if fullUnits := target / unitRows; fullUnits > 0 {
+					for _, part := range scanUnits(b.tbl, ps.metas, ps.gs, 0, fullUnits, 0, target, ps.workers) {
+						merge(b.accs, part)
+					}
+					b.folded = fullUnits * unitRows
+				}
 			}
-			ps.folded = fullUnits * unitRows
+		} else {
+			data := v.Sample.Data
+			if v.mode == ScanRowAtATime {
+				// Sequential fold: continuation from here is exactly what a
+				// continuous row-at-a-time scan carries at this prefix.
+				scanRows(data, ps.accs, 0, rows)
+				ps.folded = rows
+			} else if fullUnits := rows / unitRows; fullUnits > 0 {
+				// Fold only the complete units; the carried accumulators stay
+				// unit-aligned and the (at most one-unit) cursor tail is
+				// re-covered by the next Step, exactly as an uninterrupted
+				// scan's carry state would have it.
+				for _, part := range scanUnits(data, ps.metas, ps.gs, 0, fullUnits, 0, rows, ps.workers) {
+					merge(ps.accs, part)
+				}
+				ps.folded = fullUnits * unitRows
+			}
 		}
 		ps.emitted = rows
 	}
@@ -188,14 +285,26 @@ func (p *ProgressiveScan) Step(rows int) Increment {
 	if rows < p.emitted {
 		rows = p.emitted
 	}
-	data := p.view.Sample.Data
 	emit := p.accs
-	if p.view.mode == ScanRowAtATime {
+	if p.banks != nil {
+		// Scatter-gather emission: advance every stratum bank to its prefix
+		// target, then merge the banks into fresh accumulators in stratum
+		// order — the same barrier EvalPrefix replays.
+		emit = freshAccs(p.accs)
+		for bi, b := range p.banks {
+			target := p.bankTarget(bi, rows)
+			if target == 0 {
+				continue
+			}
+			mergeAccs(emit, p.stepBank(b, target))
+		}
+	} else if p.view.mode == ScanRowAtATime {
 		// The row-at-a-time fold is sequential per accumulator, so plain
 		// continuation reproduces a fresh prefix scan exactly.
-		scanRows(data, p.accs, p.folded, rows)
+		scanRows(p.view.Sample.Data, p.accs, p.folded, rows)
 		p.folded = rows
 	} else {
+		data := p.view.Sample.Data
 		fullUnits := rows / unitRows
 		doneUnits := p.folded / unitRows
 		if fullUnits > doneUnits {
@@ -261,7 +370,7 @@ func (v *View) EvalPrefix(snips []*query.Snippet, rows int) Increment {
 	for i, sn := range snips {
 		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
 	}
-	v.scan(v.Sample.Data, accs, 0, rows)
+	v.scanPrefix(accs, rows)
 	inc := Increment{
 		Estimates: make([]query.ScalarEstimate, len(accs)),
 		Valid:     make([]bool, len(accs)),

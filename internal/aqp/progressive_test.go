@@ -115,7 +115,7 @@ func TestProgressiveAcrossRebuildAndAppend(t *testing.T) {
 				t.Fatal(err)
 			}
 		case 2:
-			if g := e.RebuildSample(999, DefaultRebuildOptions()); g != gen0+1 {
+			if g, _ := e.RebuildSample(999, DefaultRebuildOptions()); g != gen0+1 {
 				t.Fatalf("rebuild produced generation %d", g)
 			}
 		}

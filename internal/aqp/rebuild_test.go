@@ -130,7 +130,10 @@ func TestRebuildRestoresPrefixUniformity(t *testing.T) {
 		t.Fatalf("test not discriminating: pre-rebuild prefix KS=%.3f, expected tail pile-up", dBefore)
 	}
 
-	gen := e.RebuildSample(99, DefaultRebuildOptions())
+	gen, err := e.RebuildSample(99, DefaultRebuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if gen != 1 || e.SampleGen() != 1 {
 		t.Fatalf("generation=%d/%d want 1", gen, e.SampleGen())
 	}

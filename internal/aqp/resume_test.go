@@ -47,7 +47,7 @@ func TestProgressiveFromResume(t *testing.T) {
 	if _, err := e.Append(appendBatch(t, 3000, 77), 123); err != nil {
 		t.Fatal(err)
 	}
-	if g := e.RebuildSample(999, DefaultRebuildOptions()); g != gen0+1 {
+	if g, _ := e.RebuildSample(999, DefaultRebuildOptions()); g != gen0+1 {
 		t.Fatalf("rebuild produced generation %d", g)
 	}
 

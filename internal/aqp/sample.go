@@ -13,8 +13,16 @@ import (
 // NoLearn "creates random samples of the original tables offline and splits
 // them into multiple batches of tuples").
 type Sample struct {
-	// Data holds the sampled rows in shuffled order.
+	// Data holds the sampled rows in shuffled order. For a partitioned
+	// sample (Parts != nil) it holds only the unpartitioned tail: rows
+	// appended after the last (re-)stratification, logically ordered after
+	// every partitioned row. The global sample order is then the interleave
+	// order of Parts followed by Data.
 	Data *storage.Table
+	// Parts, when non-nil, holds the stratified partitioned layout built by
+	// the last rebuild (see storage.PartitionedSample). It is immutable;
+	// appends land in Data.
+	Parts *storage.PartitionedSample
 	// Fraction is the sampling ratio |sample| / |base|.
 	Fraction float64
 	// BatchSize is the number of rows per online-aggregation batch.
@@ -60,20 +68,49 @@ func BuildSample(base *storage.Table, fraction float64, batch int, seed int64) (
 	return &Sample{Data: data, Fraction: fraction, BatchSize: batch, BaseRows: n}, nil
 }
 
+// Rows returns the total sample row count: all partitioned rows plus the
+// unpartitioned tail. For an unpartitioned sample it is just Data.Rows().
+func (s *Sample) Rows() int {
+	n := s.Data.Rows()
+	if s.Parts != nil {
+		n += s.Parts.Rows()
+	}
+	return n
+}
+
+// DriftSource returns the sample rows as one contiguous table for the
+// serving layer's drift estimator. Unpartitioned samples return Data
+// directly; partitioned samples are materialized (strata in stratum order,
+// then the tail) sharing dictionaries, so the concatenation is cheap
+// relative to the covariance pass that consumes it.
+func (s *Sample) DriftSource() *storage.Table {
+	return s.materialize()
+}
+
+// materialize flattens the sample into one table in stratum-then-tail
+// order, sharing dictionaries by reference. For an unpartitioned sample it
+// returns Data itself.
+func (s *Sample) materialize() *storage.Table {
+	if s.Parts == nil {
+		return s.Data
+	}
+	return storage.Concat(s.Data.Name(), append(s.Parts.StrataTables(), s.Data))
+}
+
 // Batches returns the number of batches in the sample.
 func (s *Sample) Batches() int {
-	if s.Data.Rows() == 0 {
+	if s.Rows() == 0 {
 		return 0
 	}
-	return (s.Data.Rows() + s.BatchSize - 1) / s.BatchSize
+	return (s.Rows() + s.BatchSize - 1) / s.BatchSize
 }
 
 // BatchBounds returns the [start, end) row range of batch i.
 func (s *Sample) BatchBounds(i int) (int, int) {
 	start := i * s.BatchSize
 	end := start + s.BatchSize
-	if end > s.Data.Rows() {
-		end = s.Data.Rows()
+	if end > s.Rows() {
+		end = s.Rows()
 	}
 	return start, end
 }

@@ -770,7 +770,6 @@ func (v *View) GroupedRunToCompletion(spec *query.GroupedSpec, nmax int) *Groupe
 		nmax = query.DefaultNmax
 	}
 	gs := newDiscoverScan(spec)
-	data := v.Sample.Data
 	f := newGroupedFold()
 	lastBatch := 0
 	for b := 0; b < v.Sample.Batches(); b++ {
@@ -779,7 +778,9 @@ func (v *View) GroupedRunToCompletion(spec *query.GroupedSpec, nmax int) *Groupe
 		if end <= start {
 			continue
 		}
-		f.foldRange(data, gs, start, end)
+		for _, sp := range v.sampleSpans(start, end) {
+			f.foldRange(sp.tbl, gs, sp.lo, sp.hi)
+		}
 	}
 	return f.result(v, gs, spec, nmax, lastBatch)
 }

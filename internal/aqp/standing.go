@@ -81,12 +81,11 @@ func (s *StandingScan) Refresh(v *View) (upd BatchUpdate, ok bool) {
 		a.baseRows = v.Sample.BaseRows
 	}
 
-	data := v.Sample.Data
 	n := v.SampleRows
 	complete := n - n%s.batch
 	for start := s.folded; start < complete; start += s.batch {
 		end := start + s.batch
-		v.scan(data, s.accs, start, end)
+		v.scan(s.accs, start, end)
 	}
 	s.folded = complete
 
@@ -96,7 +95,7 @@ func (s *StandingScan) Refresh(v *View) (upd BatchUpdate, ok bool) {
 		// grow with the next append, and the vectorized fold of the grown
 		// range is not the fold of the old range plus the delta.
 		emit = cloneAccs(s.accs)
-		v.scan(data, emit, complete, n)
+		v.scan(emit, complete, n)
 	}
 
 	upd = BatchUpdate{

@@ -100,11 +100,12 @@ func (s *GroupedStandingScan) Refresh(v *View, spec *query.GroupedSpec, nmax int
 		s.gs = newDiscoverScan(spec)
 	}
 
-	data := v.Sample.Data
 	n := v.SampleRows
 	complete := n - n%s.batch
 	for start := s.folded; start < complete; start += s.batch {
-		s.fold.foldRange(data, s.gs, start, start+s.batch)
+		for _, sp := range v.sampleSpans(start, start+s.batch) {
+			s.fold.foldRange(sp.tbl, s.gs, sp.lo, sp.hi)
+		}
 	}
 	s.folded = complete
 
@@ -114,7 +115,9 @@ func (s *GroupedStandingScan) Refresh(v *View, spec *query.GroupedSpec, nmax int
 		// with the next append, and the vectorized fold of the grown range
 		// is not the fold of the old range plus the delta.
 		emit = s.fold.clone()
-		emit.foldRange(data, s.gs, complete, n)
+		for _, sp := range v.sampleSpans(complete, n) {
+			emit.foldRange(sp.tbl, s.gs, sp.lo, sp.hi)
+		}
 	}
 
 	lastBatch := v.Sample.Batches() - 1

@@ -60,9 +60,10 @@ func (v *View) observeScan(mode string, grouped bool, start time.Time) {
 	}
 }
 
-// scan feeds rows [start, end) of data into the accumulators using the
-// view's scan mode.
-func (v *View) scan(data *storage.Table, accs []*accumulator, start, end int) {
+// scanTable feeds rows [start, end) of one physical table into the
+// accumulators using the view's scan mode. Global sample ranges go through
+// View.scan (partition.go), which fans out over the per-stratum spans.
+func (v *View) scanTable(data *storage.Table, accs []*accumulator, start, end int) {
 	switch v.mode {
 	case ScanRowAtATime:
 		scanRows(data, accs, start, end)
@@ -86,10 +87,9 @@ func (v *View) OnlineAggregate(snips []*query.Snippet, yield func(BatchUpdate) b
 	for i, sn := range snips {
 		accs[i] = &accumulator{sn: sn, baseRows: v.Sample.BaseRows}
 	}
-	data := v.Sample.Data
 	for b := 0; b < v.Sample.Batches(); b++ {
 		start, end := v.Sample.BatchBounds(b)
-		v.scan(data, accs, start, end)
+		v.scan(accs, start, end)
 		upd := BatchUpdate{
 			Estimates:   make([]query.ScalarEstimate, len(accs)),
 			Valid:       make([]bool, len(accs)),
@@ -154,30 +154,32 @@ func (v *View) GroupRows(groupCols []int, region *query.Region) ([][]query.Group
 	if len(groupCols) == 0 {
 		return [][]query.GroupValue{nil}, nil
 	}
-	t := v.Sample.Data
 	seen := map[string][]query.GroupValue{}
 	var keys []string
-	for row := 0; row < t.Rows(); row++ {
-		if region != nil && !region.Matches(t, row) {
-			continue
-		}
-		key := ""
-		gvs := make([]query.GroupValue, len(groupCols))
-		for i, col := range groupCols {
-			def := t.Schema().Col(col)
-			if def.Kind == storage.Categorical {
-				s := t.StrAt(row, col)
-				gvs[i] = query.GroupValue{Col: col, Str: s}
-				key += "|" + s
-			} else {
-				n := t.NumAt(row, col)
-				gvs[i] = query.GroupValue{Col: col, Num: n}
-				key += "|" + fmt.Sprintf("%g", n)
+	for _, sp := range v.sampleSpans(0, v.SampleRows) {
+		t := sp.tbl
+		for row := sp.lo; row < sp.hi; row++ {
+			if region != nil && !region.Matches(t, row) {
+				continue
 			}
-		}
-		if _, ok := seen[key]; !ok {
-			seen[key] = gvs
-			keys = append(keys, key)
+			key := ""
+			gvs := make([]query.GroupValue, len(groupCols))
+			for i, col := range groupCols {
+				def := t.Schema().Col(col)
+				if def.Kind == storage.Categorical {
+					s := t.StrAt(row, col)
+					gvs[i] = query.GroupValue{Col: col, Str: s}
+					key += "|" + s
+				} else {
+					n := t.NumAt(row, col)
+					gvs[i] = query.GroupValue{Col: col, Num: n}
+					key += "|" + fmt.Sprintf("%g", n)
+				}
+			}
+			if _, ok := seen[key]; !ok {
+				seen[key] = gvs
+				keys = append(keys, key)
+			}
 		}
 	}
 	sort.Strings(keys)
@@ -230,7 +232,7 @@ func (e *Engine) publishLocked() *View {
 		Epoch:       e.viewEpoch.Add(1),
 		SampleGen:   cur.Gen,
 		BaseRows:    base.Rows(),
-		SampleRows:  data.Rows(),
+		SampleRows:  smp.Rows(),
 		baseEpoch:   base.Epoch(),
 		sampleEpoch: data.Epoch(),
 		cost:        e.cost,
@@ -352,13 +354,23 @@ func (e *Engine) releaser(gen uint64) func() {
 // e.wmu and guarantees gen exists and is retained.
 func (e *Engine) viewAtLocked(gen uint64, baseRows, sampleRows int) *View {
 	cur := e.sample.Load()
-	src := cur.Data
+	src := cur
 	if gen < cur.Gen {
 		src = e.retired[gen-e.retiredBase]
 	}
 	base := e.base.SnapshotAt(baseRows)
-	data := src.SnapshotAt(sampleRows)
-	smp := *cur
+	// For a partitioned generation the immutable strata carry the first
+	// Parts.Rows() global positions; only the tail prefix varies with the
+	// recorded sample row count.
+	tailRows := sampleRows
+	if src.Parts != nil {
+		tailRows -= src.Parts.Rows()
+		if tailRows < 0 {
+			tailRows = 0
+		}
+	}
+	data := src.Data.SnapshotAt(tailRows)
+	smp := *src
 	smp.Data = data
 	smp.BaseRows = base.Rows()
 	smp.Gen = gen
@@ -367,7 +379,7 @@ func (e *Engine) viewAtLocked(gen uint64, baseRows, sampleRows int) *View {
 		Sample:      &smp,
 		SampleGen:   gen,
 		BaseRows:    base.Rows(),
-		SampleRows:  data.Rows(),
+		SampleRows:  smp.Rows(),
 		baseEpoch:   base.Epoch(),
 		sampleEpoch: data.Epoch(),
 		cost:        e.cost,

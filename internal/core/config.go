@@ -60,6 +60,20 @@ type Config struct {
 	// pinned by a live progressive stream, and replays behind the
 	// resulting horizon fail with aqp.ErrGenEvicted.
 	MaxRetainedGens int
+	// NumPartitions, when positive, splits the AQP sample into that many
+	// disjoint partitions behind a stratified interleaved layout
+	// (storage.PartitionedSample): rows are range-partitioned on
+	// StratumColumn, arrival order is preserved within partitions, and a
+	// deterministic interleave index maps any global sample prefix onto
+	// per-partition prefixes. All answers are invariant under the partition
+	// count — it is a layout/pruning knob, not a semantics knob. 0 (the
+	// default) keeps the single flat sample table.
+	NumPartitions int
+	// StratumColumn names the numeric column the stratified layout
+	// range-partitions on when NumPartitions > 0. Empty selects round-robin
+	// strata (no zone-map clustering, still prefix-uniform). Ignored when
+	// NumPartitions is 0.
+	StratumColumn string
 	// Stages, when non-nil, receives per-stage query latencies (parse,
 	// prune, scan, infer) for the serving layer's metrics. The scan stage is
 	// forwarded into the wired engine (aqp.Engine.SetStageTimer); the rest

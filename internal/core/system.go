@@ -99,6 +99,28 @@ func applyEngineConfig(engine *aqp.Engine, cfg Config) {
 	}
 	engine.SetMaxRetainedGens(cfg.withDefaults().MaxRetainedGens)
 	engine.SetStageTimer(cfg.Stages)
+	if cfg.NumPartitions > 0 {
+		col := -1
+		if cfg.StratumColumn != "" {
+			c, ok := engine.Base().Schema().Lookup(cfg.StratumColumn)
+			if !ok {
+				// Unknown column: leave the flat layout rather than guessing.
+				// The serving layer validates the flag at boot and fails fast;
+				// library callers who pass a bad name get the K=1 behavior,
+				// which is answer-identical anyway.
+				return
+			}
+			col = c
+		}
+		if err := engine.SetSampleLayout(aqp.RebuildOptions{
+			ClusterColumn: -1,
+			Partitions:    cfg.NumPartitions,
+			StratumColumn: col,
+		}); err != nil {
+			// Categorical stratum column and the like: same fail-soft as above.
+			return
+		}
+	}
 }
 
 // observeStage reports one pipeline-stage duration to the configured timer;
@@ -172,7 +194,7 @@ func (s *System) Append(batch *storage.Table) (sampled int, err error) {
 	}
 	// Drift is estimated from the pre-append sample (the "small sample of
 	// r"); Lemma 3's ratio uses the true relation cardinalities.
-	s.Verdict().OnAppendSampled(oldView.Sample.Data, batch, oldView.BaseRows, batch.Rows(), seed)
+	s.Verdict().OnAppendSampled(oldView.Sample.DriftSource(), batch, oldView.BaseRows, batch.Rows(), seed)
 	s.bumpStats(func(st *SystemStats) {
 		st.Appends++
 		st.AppendRows += batch.Rows()
@@ -212,23 +234,44 @@ func (s *System) SaveSynopsis(w io.Writer) error {
 	return s.Verdict().Save(w)
 }
 
-// RebuildSample re-shuffles the AQP sample back into a prefix-uniform
-// layout (see aqp.Engine.RebuildSample), undoing the tail-pile-up of
-// streamed appends. It serializes with Append; queries in flight keep
-// their pinned generation and replay via ViewAtGen. The synopsis needs no
-// adjustment — the sample's content is unchanged, only its order. Returns
-// the new sample generation and its row count.
+// RebuildSample re-lays-out the AQP sample under the engine's current
+// default layout (see aqp.Engine.RebuildSample and Layout), undoing the
+// tail-pile-up of streamed appends. It serializes with Append; queries in
+// flight keep their pinned generation and replay via ViewAtGen. The
+// synopsis needs no adjustment — the sample's content is unchanged, only
+// its order. Returns the new sample generation and its row count. The
+// engine's standing layout was validated at boot, so this cannot fail.
 func (s *System) RebuildSample() (gen uint64, sampleRows int) {
+	gen, sampleRows, err := s.RebuildSampleOpts(s.engine.Layout())
+	if err != nil {
+		// Layout() returned an option set the engine already accepted once;
+		// re-validation failing means the schema changed under us, which the
+		// storage layer forbids.
+		panic(err)
+	}
+	return gen, sampleRows
+}
+
+// RebuildSampleOpts rebuilds the sample under an explicit layout — the
+// serving layer's /rebuild uses it to honor per-request cluster/stratum
+// column overrides. Invalid layouts (aqp.ErrBadLayout) are rejected before
+// any state moves: no generation swap, no Rebuilds bump, no standing
+// notification.
+func (s *System) RebuildSampleOpts(opts aqp.RebuildOptions) (gen uint64, sampleRows int, err error) {
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
 	s.rebuildSeed++
-	gen = s.engine.RebuildSample(8_000_000+s.rebuildSeed, aqp.DefaultRebuildOptions())
+	gen, err = s.engine.RebuildSample(8_000_000+s.rebuildSeed, opts)
+	if err != nil {
+		s.rebuildSeed--
+		return 0, 0, err
+	}
 	s.bumpStats(func(st *SystemStats) { st.Rebuilds++ })
 	// The generation swap invalidates every carried standing fold; the
 	// notify pass re-pins each plan on the new generation and pays one full
 	// re-fold per plan (still one scan per plan, not per subscriber).
 	s.notifyStanding(PushReasonRebuild)
-	return gen, s.engine.Acquire().SampleRows
+	return gen, s.engine.Acquire().SampleRows, nil
 }
 
 // AggregateCell is one user aggregate's answer in a result row.

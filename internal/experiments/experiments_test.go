@@ -52,7 +52,7 @@ func TestRegistryComplete(t *testing.T) {
 		"figure6a", "figure6b", "figure6c", "figure6d",
 		"figure7", "figure9", "figure10", "figure11", "figure12", "figure13",
 		"ablation", "scanbench", "groupedbench", "progressivebench",
-		"notifybench",
+		"notifybench", "partitionbench",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -40,7 +40,7 @@ func Figure11TimeBound(o Options) (*Report, error) {
 		// Budget: plan overhead plus a quarter of the full scan, mirroring
 		// the paper's few-second budgets.
 		cost := f.engine.Cost()
-		full := cost.ScanTime(f.engine.Sample().Data.Rows())
+		full := cost.ScanTime(f.engine.Sample().Rows())
 		budget := cost.PlanOverhead + full/4
 
 		var bN, bV float64

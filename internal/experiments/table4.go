@@ -43,7 +43,7 @@ func buildFixture(o Options, c table4Config) (*fixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	cost := costFor(c.cached, f.engine.Sample().Data.Rows())
+	cost := costFor(c.cached, f.engine.Sample().Rows())
 	f.engine = aqp.NewEngine(f.table, f.engine.Sample(), cost)
 	return f, nil
 }

@@ -390,6 +390,17 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	f.mu.Unlock()
 }
 
+// GaugeFuncVec registers a labeled gauge family collected at scrape time:
+// collect returns one Sample per label-value combination. Unlike a static
+// GaugeVec, the label set may change between scrapes — the per-partition
+// sample gauges use this, since a rebuild can change the partition count.
+func (r *Registry) GaugeFuncVec(name, help string, labelNames []string, collect func() []Sample) {
+	f := r.family(name, help, typeGauge, labelNames, nil)
+	f.mu.Lock()
+	f.collect = collect
+	f.mu.Unlock()
+}
+
 // CounterFuncVec registers a labeled counter family collected at scrape
 // time: collect returns one Sample per label-value combination (the
 // per-shard synopsis counters use this — the shards already count with

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/aqp"
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/obs"
@@ -590,29 +592,102 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 // ---- /rebuild ----
 
+// RebuildRequest optionally overrides the sample layout for this rebuild.
+// All fields are column *names*, resolved against the base schema here;
+// empty/zero fields fall back to the engine's standing layout (the boot
+// flags). Invalid layouts — unknown or categorical columns — are rejected
+// with a structured 400 (code "invalid_column") before any state moves.
+type RebuildRequest struct {
+	// ClusterColumn sorts the flat (unpartitioned) sample by this numeric
+	// column for zone-map pruning; only meaningful when Partitions is 0.
+	ClusterColumn string `json:"cluster_column,omitempty"`
+	// Partitions rebuilds into this many stratified partitions (>= 1);
+	// 0 keeps the engine's standing layout.
+	Partitions int `json:"partitions,omitempty"`
+	// StratumColumn is the numeric column the stratified layout
+	// range-partitions on; empty with Partitions > 0 selects round-robin.
+	StratumColumn string `json:"stratum_column,omitempty"`
+}
+
 type RebuildResponse struct {
 	// Generation is the new sample generation (one rebuild = one epoch).
 	Generation uint64 `json:"generation"`
 	SampleRows int    `json:"sample_rows"`
 	Epoch      uint64 `json:"epoch"`
+	// Partitions is the partition count of the new layout (0 = flat).
+	Partitions int `json:"partitions,omitempty"`
 }
 
-// handleRebuild forces a sample rebuild now (see System.RebuildSample),
+// resolveLayout turns a RebuildRequest's column names into engine options,
+// starting from the engine's standing layout so an empty body reproduces
+// the default rebuild exactly.
+func (s *Server) resolveLayout(req RebuildRequest) (aqp.RebuildOptions, error) {
+	opts := s.sys.Engine().Layout()
+	schema := s.sys.Engine().Base().Schema()
+	lookup := func(field, name string) (int, error) {
+		col, ok := schema.Lookup(name)
+		if !ok {
+			return -1, fmt.Errorf("%s: unknown column %q", field, name)
+		}
+		return col, nil
+	}
+	var err error
+	if req.ClusterColumn != "" {
+		if opts.ClusterColumn, err = lookup("cluster_column", req.ClusterColumn); err != nil {
+			return opts, err
+		}
+	}
+	if req.Partitions != 0 {
+		opts.Partitions = req.Partitions
+	}
+	if req.StratumColumn != "" {
+		if opts.StratumColumn, err = lookup("stratum_column", req.StratumColumn); err != nil {
+			return opts, err
+		}
+	}
+	return opts, nil
+}
+
+// handleRebuild forces a sample rebuild now (see System.RebuildSampleOpts),
 // regardless of the auto-rebuild thresholds — the operator's lever for a
-// planned quiet window. Queries in flight keep their pinned generation.
+// planned quiet window. Queries in flight keep their pinned generation. An
+// optional JSON body overrides the layout for this rebuild (and the new
+// layout sticks as the engine default for subsequent auto-rebuilds).
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	var req RebuildRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	opts, err := s.resolveLayout(req)
+	if err != nil {
+		writeErrCode(w, r, http.StatusBadRequest, codeInvalidColumn, err)
+		return
+	}
 	s.pendingRows.Store(0)
 	t0 := time.Now()
-	gen, rows := s.sys.RebuildSample()
+	gen, rows, err := s.sys.RebuildSampleOpts(opts)
+	if err != nil {
+		// aqp.ErrBadLayout: the named column exists but cannot serve as a
+		// layout key (categorical, out of range). Nothing moved.
+		writeErrCode(w, r, http.StatusBadRequest, codeInvalidColumn, err)
+		return
+	}
 	s.observeRebuild(t0)
+	parts := 0
+	if stats := s.sys.Engine().PartitionStats(); stats != nil {
+		parts = len(stats)
+	}
 	writeJSON(w, http.StatusOK, RebuildResponse{
 		Generation: gen,
 		SampleRows: rows,
 		Epoch:      s.sys.Engine().Acquire().Epoch,
+		Partitions: parts,
 	})
 }
 
@@ -711,6 +786,12 @@ type StatsResponse struct {
 		ReplayHorizon   uint64 `json:"replay_horizon"`
 		RetainedGens    int    `json:"retained_gens"`
 		MaxRetainedGens int    `json:"max_retained_gens"`
+		// NumPartitions is the partition count of the stratified sample
+		// layout (0 = flat sample, Partitions absent); StratumColumn names
+		// the column the layout range-partitions on ("" = round-robin).
+		NumPartitions int             `json:"num_partitions,omitempty"`
+		StratumColumn string          `json:"stratum_column,omitempty"`
+		Partitions    []PartitionInfo `json:"partitions,omitempty"`
 	} `json:"sample"`
 	Server struct {
 		Sessions    int `json:"sessions"`
@@ -736,6 +817,21 @@ type StatsResponse struct {
 	// count, uptime); absent when the server runs without a registry.
 	Metrics  *MetricsSummary `json:"metrics_summary,omitempty"`
 	Sessions []SessionInfo   `json:"sessions,omitempty"`
+}
+
+// PartitionInfo is one serving partition's digest in /stats (see
+// aqp.Engine.PartitionStats).
+type PartitionInfo struct {
+	Partition int `json:"partition"`
+	Strata    int `json:"strata"`
+	Rows      int `json:"rows"`
+	// Generation is the sample generation the partition's strata were built
+	// under; all partitions of one layout report the same value.
+	Generation uint64 `json:"generation"`
+	// ZoneSelectivity is the mean stratum-column zone-map width relative to
+	// the column domain over the partition's blocks — near 0 means selective
+	// predicates on the stratum column prune almost every block.
+	ZoneSelectivity float64 `json:"zone_selectivity"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -764,6 +860,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Sample.AutoAfterRows = s.cfg.RebuildAfterRows
 	resp.Sample.ReplayHorizon, resp.Sample.RetainedGens, resp.Sample.MaxRetainedGens =
 		s.sys.Engine().RetentionStats()
+	if stats := s.sys.Engine().PartitionStats(); stats != nil {
+		resp.Sample.NumPartitions = len(stats)
+		schema := s.sys.Engine().Base().Schema()
+		if col := s.sys.Engine().Layout().StratumColumn; col >= 0 && col < schema.Len() {
+			resp.Sample.StratumColumn = schema.Col(col).Name
+		}
+		for _, st := range stats {
+			resp.Sample.Partitions = append(resp.Sample.Partitions, PartitionInfo{
+				Partition:       st.Partition,
+				Strata:          st.Strata,
+				Rows:            st.Rows,
+				Generation:      st.Gen,
+				ZoneSelectivity: st.ZoneSelectivity,
+			})
+		}
+	}
 	resp.Server.Sessions = s.sessions.len()
 	resp.Server.MaxInFlight = s.cfg.MaxInFlight
 	resp.Server.InFlight = s.InFlight()
@@ -899,6 +1011,10 @@ const (
 	codeDraining         = "draining"
 	codeCanceled         = "canceled"
 	codeInternal         = "internal"
+	// codeInvalidColumn marks /rebuild layout rejections: an unknown column
+	// name, or a column that exists but cannot key a sample layout
+	// (aqp.ErrBadLayout — categorical or out of range).
+	codeInvalidColumn = "invalid_column"
 )
 
 // errJSON is the error envelope every non-410 error response carries:
